@@ -1,0 +1,64 @@
+"""Extension — energy and energy-delay-product comparison.
+
+The paper optimizes time-to-solution under a power bound; since the
+simulator meters every joule, this bench reports the energy side the
+paper leaves implicit: CLIP's throttled configurations should not buy
+their speed with disproportionate energy — for parabolic apps they are
+*both* faster and more frugal (fewer wasted active cores).
+"""
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.tables import render_table
+from repro.workloads.apps import get_app
+from conftest import run_once
+
+APPS = ("comd", "bt-mz.C", "sp-mz.C", "tealeaf")
+BUDGET_W = 1200.0
+METHODS = ("All-In", "Coordinated", "CLIP")
+
+
+def sweep(engine, schedulers):
+    rows = []
+    for name in APPS:
+        app = get_app(name)
+        for method in METHODS:
+            result = schedulers[method].run(app, BUDGET_W, iterations=3)
+            rows.append(
+                [
+                    name,
+                    method,
+                    result.performance,
+                    result.energy_j / result.iterations,
+                    result.edp,
+                ]
+            )
+    return rows
+
+
+def test_energy_efficiency(benchmark, engine, schedulers, report):
+    rows = run_once(benchmark, lambda: sweep(engine, schedulers))
+
+    report(
+        "energy_efficiency",
+        render_table(
+            ["Benchmark", "Method", "it/s", "J per iteration", "EDP (J*s)"],
+            rows,
+            title=f"Extension — energy at a {BUDGET_W:.0f} W budget",
+        ),
+    )
+
+    cell = {(r[0], r[1]): r for r in rows}
+
+    # parabolic apps: CLIP is faster AND cheaper per iteration than the
+    # all-core methods (idle-beyond-knee cores burn watts for nothing)
+    for name in ("sp-mz.C", "tealeaf"):
+        clip = cell[(name, "CLIP")]
+        for other in ("All-In", "Coordinated"):
+            assert clip[2] > cell[(name, other)][2], (name, other)
+            assert clip[3] < cell[(name, other)][3] * 1.02, (name, other)
+
+    # EDP: CLIP has the best geomean across the mix
+    edp_geo = {
+        m: geometric_mean([cell[(n, m)][4] for n in APPS]) for m in METHODS
+    }
+    assert edp_geo["CLIP"] == min(edp_geo.values()), edp_geo

@@ -1,0 +1,79 @@
+"""Figure 2 — the three scalability trends vs. cores and frequency.
+
+The paper plots performance against thread count at several processor
+frequencies for a linear (2a), a logarithmic (2b), and a parabolic (2c)
+application, observing: linear growth for (a); linear growth up to an
+inflection point then reduced growth for (b); growth then *decline*
+past the peak for (c); and S(freq) proportional to freq throughout.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.units import ghz
+from repro.workloads.apps import get_app
+from repro.workloads.model import scalability_curve, true_inflection_point
+from conftest import run_once
+
+PANELS = (("2a", "ep.C"), ("2b", "bt-mz.C"), ("2c", "sp-mz.C"))
+FREQS_GHZ = (1.2, 1.8, 2.3)
+THREADS = np.arange(2, 25, 2)
+
+
+def sweep(node):
+    curves = {}
+    for panel, name in PANELS:
+        app = get_app(name)
+        for f in FREQS_GHZ:
+            ns, perfs = scalability_curve(
+                app, node, n_threads=THREADS, frequency_hz=ghz(f)
+            )
+            curves[(panel, f)] = perfs
+    return curves
+
+
+def test_fig2_scalability_trends(benchmark, engine, report):
+    node = engine.cluster.spec.node
+    curves = run_once(benchmark, lambda: sweep(node))
+
+    lines = []
+    for panel, name in PANELS:
+        rows = [
+            [f"{f:.1f} GHz"] + list(curves[(panel, f)]) for f in FREQS_GHZ
+        ]
+        lines.append(
+            render_table(
+                ["frequency"] + [f"n={n}" for n in THREADS],
+                rows,
+                title=f"Fig. {panel} — {name} performance (iterations/s) vs threads",
+                float_fmt="{:.3f}",
+            )
+        )
+    report("fig2", "\n\n".join(lines))
+
+    # panel (a): linear — monotone growth, near-proportional to n
+    lin = curves[("2a", 2.3)]
+    assert np.all(np.diff(lin) > 0)
+    assert lin[-1] / lin[0] > 8.0  # 24 threads vs 2: close to 12x
+
+    # panel (b): logarithmic — grows, but late growth is much weaker
+    log = curves[("2b", 2.3)]
+    assert log[-1] >= log[0]
+    early_gain = log[3] / log[0]
+    late_gain = log[-1] / log[7]
+    assert early_gain > 2.0
+    assert late_gain < 1.3
+
+    # panel (c): parabolic — interior peak, decline afterwards
+    par = curves[("2c", 2.3)]
+    peak = int(np.argmax(par))
+    assert 0 < peak < len(par) - 1
+    assert par[-1] < par[peak] * 0.95
+
+    # S(freq) ~ freq for the compute-bound panel at fixed threads
+    ep_ratio = curves[("2a", 2.3)][5] / curves[("2a", 1.2)][5]
+    np.testing.assert_allclose(ep_ratio, 2.3 / 1.2, rtol=0.1)
+
+    # the logarithmic knee sits where the exhaustive search puts it
+    np_true = true_inflection_point(get_app("bt-mz.C"), node)
+    assert 10 <= np_true <= 18

@@ -1,0 +1,60 @@
+"""Figure 6 — parallel speedup ratio (half-core / all-core) per benchmark.
+
+The paper plots Perf_half / Perf_all for every Table-II application with
+no power bound: green bars (< 0.7) are linear, blue (0.7-1.0)
+logarithmic, red (>= 1.0) parabolic.  The profiled ratios must land each
+application in its published class.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.profile import SmartProfiler
+from repro.workloads.apps import TABLE2_APPS
+from conftest import run_once
+
+PAPER_CLASSES = {
+    "bt-mz.C": "logarithmic",
+    "lu-mz.C": "logarithmic",
+    "sp-mz.C": "parabolic",
+    "comd": "linear",
+    "amg": "linear",
+    "miniaero": "parabolic",
+    "minimd": "linear",
+    "tealeaf": "parabolic",
+    "cloverleaf.128": "logarithmic",
+    "cloverleaf.16": "logarithmic",
+}
+
+
+def profile_all(engine):
+    profiler = SmartProfiler(engine)
+    return {a.name: profiler.profile(a) for a in TABLE2_APPS}
+
+
+def test_fig6_classification(benchmark, engine, report):
+    profiles = run_once(benchmark, lambda: profile_all(engine))
+
+    rows = [
+        [name, p.ratio, p.scalability_class.value, PAPER_CLASSES[name]]
+        for name, p in profiles.items()
+    ]
+    report(
+        "fig6",
+        render_table(
+            ["Benchmark", "Perf_half/Perf_all", "Measured class", "Paper class"],
+            rows,
+            title="Fig. 6 — speedup ratio classification (no power bound)",
+        ),
+    )
+
+    for name, p in profiles.items():
+        assert p.scalability_class.value == PAPER_CLASSES[name], (
+            f"{name}: ratio {p.ratio:.3f}"
+        )
+
+    # the three bands are all populated, as in the figure
+    classes = {p.scalability_class.value for p in profiles.values()}
+    assert classes == {"linear", "logarithmic", "parabolic"}
+
+    # linear ratios hover near 0.5 (half the cores, half the speed)
+    for name in ("comd", "minimd"):
+        assert profiles[name].ratio < 0.6

@@ -1,0 +1,81 @@
+"""Figure 8 — method comparison under HIGH power budgets.
+
+Relative performance (normalized to unbounded All-In, §V-C) of All-In,
+Lower-Limit, Coordinated [15], and CLIP across the Table-II benchmarks,
+at budgets where every node can stay active.  The paper's observations
+to reproduce here:
+
+1. CLIP ~= All-In for most applications when the bound is high;
+2. CLIP performs close to optimal at high budgets;
+3. CLIP beats Coordinated on parabolic apps (SP-MZ, miniAero, TeaLeaf)
+   — up to 60 % — because Coordinated runs past the inflection point.
+"""
+
+from repro.analysis.experiments import compare_methods
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.tables import render_table
+from repro.workloads.apps import TABLE2_APPS
+from conftest import run_once
+
+HIGH_BUDGETS_W = (1600.0, 2000.0, 2400.0)
+METHODS = ("All-In", "Lower-Limit", "Coordinated", "CLIP")
+PARABOLIC = ("sp-mz.C", "miniaero", "tealeaf")
+LINEAR = ("comd", "amg", "minimd")
+#: The paper splits the ten benchmarks over two panels (8a / 8b).
+PANEL_A = tuple(a.name for a in TABLE2_APPS[:5])
+PANEL_B = tuple(a.name for a in TABLE2_APPS[5:])
+
+
+def sweep(engine, schedulers):
+    return compare_methods(
+        engine, list(TABLE2_APPS), list(HIGH_BUDGETS_W), schedulers, iterations=3
+    )
+
+
+def test_fig8_high_budget(benchmark, engine, schedulers, report):
+    comp = run_once(benchmark, lambda: sweep(engine, schedulers))
+
+    blocks = []
+    for panel, names in (("8a", PANEL_A), ("8b", PANEL_B)):
+        rows = []
+        for budget in HIGH_BUDGETS_W:
+            for name in names:
+                rows.append(
+                    [f"{budget:.0f}W", name]
+                    + [comp.cell(m, name, budget).relative for m in METHODS]
+                )
+        blocks.append(
+            render_table(
+                ["Budget", "Benchmark"] + list(METHODS),
+                rows,
+                title=f"Fig. {panel} — relative performance, high power budgets",
+            )
+        )
+    report("fig8", "\n\n".join(blocks))
+
+    # (1) CLIP ~= All-In for linear applications at high budgets
+    for name in LINEAR:
+        for budget in HIGH_BUDGETS_W:
+            clip = comp.cell("CLIP", name, budget).relative
+            allin = comp.cell("All-In", name, budget).relative
+            assert clip >= allin * 0.85, (name, budget)
+
+    # (3) CLIP defends Coordinated on every parabolic app, by a large
+    # factor on at least one of them
+    margins = []
+    for name in PARABOLIC:
+        for budget in HIGH_BUDGETS_W:
+            clip = comp.cell("CLIP", name, budget).relative
+            coord = comp.cell("Coordinated", name, budget).relative
+            assert clip > coord, (name, budget)
+            margins.append(clip / coord)
+    assert max(margins) >= 1.4, f"best parabolic margin only {max(margins):.2f}"
+
+    # CLIP is the best (or ties the best) method on geomean
+    per_method = {
+        m: geometric_mean(
+            [c.relative for c in comp.by_method(m)]
+        )
+        for m in METHODS
+    }
+    assert per_method["CLIP"] == max(per_method.values())

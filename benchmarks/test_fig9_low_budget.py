@@ -1,0 +1,91 @@
+"""Figure 9 — method comparison under LOW power budgets.
+
+Same methods and normalization as Fig. 8, but with the cluster budget
+tight enough that methods must shed nodes, split power carefully, or
+pay the clock-modulation cliff.  Paper observations reproduced here:
+
+3. CLIP outperforms All-In / Coordinated / Lower-Limit for most cases,
+   especially logarithmic and parabolic applications;
+5. CLIP beats Coordinated on logarithmic applications when the power
+   budget is low;
+*  All-In collapses: splitting a low budget over all nodes starves the
+   per-node CPU share below the lowest P-state.
+"""
+
+from repro.analysis.experiments import compare_methods
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.tables import render_table
+from repro.workloads.apps import TABLE2_APPS
+from conftest import run_once
+
+LOW_BUDGETS_W = (800.0, 1000.0, 1200.0)
+METHODS = ("All-In", "Lower-Limit", "Coordinated", "CLIP")
+PARABOLIC = ("sp-mz.C", "miniaero", "tealeaf")
+LOGARITHMIC = ("bt-mz.C", "lu-mz.C", "cloverleaf.128", "cloverleaf.16")
+PANEL_A = tuple(a.name for a in TABLE2_APPS[:5])
+PANEL_B = tuple(a.name for a in TABLE2_APPS[5:])
+
+
+def sweep(engine, schedulers):
+    return compare_methods(
+        engine, list(TABLE2_APPS), list(LOW_BUDGETS_W), schedulers, iterations=3
+    )
+
+
+def test_fig9_low_budget(benchmark, engine, schedulers, report):
+    comp = run_once(benchmark, lambda: sweep(engine, schedulers))
+
+    blocks = []
+    for panel, names in (("9a", PANEL_A), ("9b", PANEL_B)):
+        rows = []
+        for budget in LOW_BUDGETS_W:
+            for name in names:
+                rows.append(
+                    [f"{budget:.0f}W", name]
+                    + [comp.cell(m, name, budget).relative for m in METHODS]
+                )
+        blocks.append(
+            render_table(
+                ["Budget", "Benchmark"] + list(METHODS),
+                rows,
+                title=f"Fig. {panel} — relative performance, low power budgets",
+            )
+        )
+    report("fig9", "\n\n".join(blocks))
+
+    # CLIP is the best method overall at every low budget
+    for budget in LOW_BUDGETS_W:
+        per_method = {
+            m: geometric_mean(
+                [
+                    comp.cell(m, a.name, budget).relative
+                    for a in TABLE2_APPS
+                    if comp.cell(m, a.name, budget).feasible
+                ]
+            )
+            for m in METHODS
+        }
+        assert per_method["CLIP"] == max(per_method.values()), (
+            budget,
+            per_method,
+        )
+
+    # parabolic apps: CLIP wins big against Coordinated even here
+    for name in PARABOLIC:
+        for budget in LOW_BUDGETS_W:
+            clip = comp.cell("CLIP", name, budget).relative
+            coord = comp.cell("Coordinated", name, budget).relative
+            assert clip > coord * 1.05, (name, budget)
+
+    # logarithmic apps at the tightest budget: CLIP >= Coordinated
+    # (observation 5)
+    for name in LOGARITHMIC:
+        clip = comp.cell("CLIP", name, 800.0).relative
+        coord = comp.cell("Coordinated", name, 800.0).relative
+        assert clip >= coord * 0.9, name
+
+    # the compute-bound apps expose All-In's duty-cycle cliff at 800 W
+    for name in ("comd", "minimd"):
+        allin = comp.cell("All-In", name, 800.0).relative
+        clip = comp.cell("CLIP", name, 800.0).relative
+        assert clip > 2.0 * allin, name

@@ -1,0 +1,98 @@
+"""The paper's headline quantitative claims.
+
+* Abstract: "the proposed scheduler outperforms compared methods by
+  over 20 % on average for various power budgets";
+* §V-C (1): with no power bound, CLIP matches All-In on most apps and
+  wins >= 40 % on SP-MZ-style parabolic codes;
+* §V-C (4): CLIP defends Coordinated on parabolic applications by up
+  to 60 % overall;
+* Conclusion: "average improvements are close to 20 % under low power
+  budget".
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import compare_methods
+from repro.analysis.metrics import geometric_mean, improvement_over
+from repro.analysis.tables import render_table
+from repro.workloads.apps import TABLE2_APPS
+from conftest import run_once
+
+BUDGETS_W = (800.0, 1000.0, 1200.0, 1600.0, 2000.0, 2400.0)
+BASELINES = ("All-In", "Lower-Limit", "Coordinated")
+PARABOLIC = ("sp-mz.C", "miniaero", "tealeaf")
+
+
+def sweep(engine, schedulers):
+    comp = compare_methods(
+        engine, list(TABLE2_APPS), list(BUDGETS_W), schedulers, iterations=3
+    )
+    unbounded = compare_methods(
+        engine,
+        list(TABLE2_APPS),
+        [engine.cluster.p_max_w * 10.0],
+        schedulers,
+        iterations=3,
+    )
+    return comp, unbounded
+
+
+def test_headline_claims(benchmark, engine, schedulers, report):
+    comp, unbounded = run_once(benchmark, lambda: sweep(engine, schedulers))
+
+    rows = []
+    mean_improvements = []
+    for budget in BUDGETS_W:
+        imps = []
+        for app in TABLE2_APPS:
+            clip = comp.cell("CLIP", app.name, budget).relative
+            for m in BASELINES:
+                cell = comp.cell(m, app.name, budget)
+                if cell.feasible and cell.relative > 0:
+                    imps.append(clip / cell.relative)
+        mean_improvements.append(geometric_mean(imps))
+        rows.append([f"{budget:.0f}W", geometric_mean(imps) - 1.0])
+    report(
+        "headline",
+        render_table(
+            ["Budget", "CLIP mean improvement over compared methods"],
+            rows,
+            title="Headline — average CLIP improvement (geomean over apps x methods)",
+        ),
+    )
+
+    # ">20 % on average for various power budgets": averaged across the
+    # compared methods and budgets
+    overall = geometric_mean(mean_improvements)
+    assert overall >= 1.20, f"overall improvement {overall:.3f}"
+
+    # unbounded: CLIP ~= All-In on most apps, >= 40 % on SP-MZ
+    ub = unbounded.cells[0].budget_w
+    close = 0
+    for app in TABLE2_APPS:
+        clip = unbounded.cell("CLIP", app.name, ub).relative
+        allin = unbounded.cell("All-In", app.name, ub).relative
+        if clip >= 0.9 * allin:
+            close += 1
+    assert close >= 8, f"CLIP close to unbounded All-In on only {close}/10 apps"
+    spmz_gain = improvement_over(
+        unbounded.cell("CLIP", "sp-mz.C", ub).relative,
+        unbounded.cell("All-In", "sp-mz.C", ub).relative,
+    )
+    assert spmz_gain >= 0.40, f"SP-MZ unbounded gain {spmz_gain:.2f}"
+
+    # parabolic vs Coordinated: the best case approaches the paper's
+    # "up to 60 %"
+    parabolic_gains = [
+        improvement_over(
+            comp.cell("CLIP", name, budget).relative,
+            comp.cell("Coordinated", name, budget).relative,
+        )
+        for name in PARABOLIC
+        for budget in BUDGETS_W
+    ]
+    assert max(parabolic_gains) >= 0.45, max(parabolic_gains)
+
+    # "close to 20 % under low power budget"
+    low_mean = geometric_mean(mean_improvements[:3])
+    assert low_mean >= 1.15, f"low-budget improvement {low_mean:.3f}"

@@ -1,0 +1,78 @@
+"""Scaling study — CLIP beyond the paper's 8 nodes.
+
+The paper motivates CLIP with exascale-era budgets; this extension
+bench grows the simulated cluster (8 → 64 nodes) and checks that
+
+* the scheduler's decision cost stays interactive (its models are
+  closed-form; only the candidate scan grows linearly), and
+* decision *quality* holds: CLIP keeps beating All-In by a healthy
+  margin at proportionally scaled budgets, and keeps budgets conserved.
+"""
+
+import time
+
+from repro.analysis.tables import render_table
+from repro.baselines import AllInScheduler
+from repro.core.knowledge import KnowledgeDB
+from repro.core.scheduler import ClipScheduler
+from repro.hw.cluster import SimulatedCluster
+from repro.hw.specs import haswell_testbed
+from repro.sim.engine import ExecutionEngine
+from repro.workloads.apps import get_app
+from conftest import run_once
+
+SIZES = (8, 16, 32, 64)
+BUDGET_PER_NODE_W = 140.0
+
+
+def sweep(trained_inflection):
+    app = get_app("sp-mz.C")
+    rows = []
+    for n in SIZES:
+        engine = ExecutionEngine(
+            SimulatedCluster(haswell_testbed(n_nodes=n)), seed=42
+        )
+        clip = ClipScheduler(
+            engine, inflection=trained_inflection, knowledge=KnowledgeDB()
+        )
+        budget = BUDGET_PER_NODE_W * n
+        clip.ensure_knowledge(app)  # profile outside the timer
+        t0 = time.perf_counter()
+        decision = clip.schedule(app, budget)
+        decide_s = time.perf_counter() - t0
+        result = engine.run(app, decision.to_execution_config(iterations=3))
+        allin = AllInScheduler(engine).run(app, budget, iterations=3)
+        rows.append(
+            [
+                n,
+                f"{budget:.0f}W",
+                decision.n_nodes,
+                decision.n_threads,
+                decide_s * 1e3,
+                result.performance / allin.performance,
+            ]
+        )
+    return rows
+
+
+def test_scaling_cluster_size(benchmark, trained_inflection, report):
+    rows = run_once(benchmark, lambda: sweep(trained_inflection))
+
+    report(
+        "scaling_cluster",
+        render_table(
+            ["nodes", "budget", "CLIP nodes", "threads", "decision (ms)",
+             "CLIP / All-In"],
+            rows,
+            title="Extension — CLIP on growing clusters (sp-mz.C, 140 W/node)",
+        ),
+    )
+
+    for n, _, used, threads, decide_ms, speedup in rows:
+        assert 1 <= used <= n
+        assert threads < 24  # parabolic: throttled at every scale
+        assert decide_ms < 2000.0
+        assert speedup > 1.2  # the CLIP advantage persists at scale
+
+    # decision latency grows at most ~linearly with the cluster size
+    assert rows[-1][4] < rows[0][4] * len(SIZES) * 8

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Render the paper's key figures as ASCII charts in the terminal.
+
+Draws Fig. 2 (the three scalability trends), Fig. 6 (classification
+ratio bars with the 0.7 / 1.0 threshold guides), and a RAPL governor
+settling trace — all from live simulation, no plotting stack required.
+
+Run:  python examples/ascii_figures.py
+"""
+
+import numpy as np
+
+from repro.analysis.plots import render_bars, render_series
+from repro.core.profile import SmartProfiler
+from repro.hw import Domain, RaplGovernor, SimulatedCluster
+from repro.sim import ExecutionEngine
+from repro.workloads import TABLE2_APPS, get_app
+from repro.workloads.model import scalability_curve
+
+
+def fig2(engine) -> None:
+    node = engine.cluster.spec.node
+    threads = np.arange(2, 25, 2)
+    series = {}
+    for name in ("ep.C", "bt-mz.C", "sp-mz.C"):
+        ns, perfs = scalability_curve(get_app(name), node, n_threads=threads)
+        series[name] = perfs / perfs[0]  # speedup over 2 threads
+    print(
+        render_series(
+            list(threads),
+            {k: list(v) for k, v in series.items()},
+            title="Fig. 2 — speedup vs threads (linear / logarithmic / parabolic)",
+            height=14,
+            width=64,
+        )
+    )
+
+
+def fig6(engine) -> None:
+    profiler = SmartProfiler(engine)
+    labels, ratios = [], []
+    for app in TABLE2_APPS:
+        p = profiler.profile(app)
+        labels.append(f"{app.name} ({p.scalability_class.value[:3]})")
+        ratios.append(p.ratio)
+    print()
+    print(
+        render_bars(
+            labels,
+            ratios,
+            width=56,
+            title="Fig. 6 — Perf_half / Perf_all (guides at the 0.7 and 1.0 thresholds)",
+            markers={0.7: "linear|log", 1.0: "log|parabolic"},
+        )
+    )
+
+
+def governor_trace(engine) -> None:
+    node = engine.cluster.node(0)
+    node.rapl.set_cap(Domain.PKG, 140.0)
+    gov = RaplGovernor(node.rapl, window_s=1.0, interval_s=0.05)
+    samples = gov.run(120, [12, 12], 0.95)
+    t = [s.t_s for s in samples]
+    print()
+    print(
+        render_series(
+            t,
+            {
+                "power (W)": [s.power_w for s in samples],
+                "window avg": [s.window_avg_w for s in samples],
+                "limit": [s.limit_w for s in samples],
+            },
+            title="RAPL governor settling onto a 140 W PKG limit "
+            "(all-core compute phase from turbo)",
+            height=12,
+            width=64,
+        )
+    )
+    node.rapl.clear_caps()
+
+
+def main() -> None:
+    engine = ExecutionEngine(SimulatedCluster.testbed(), seed=42)
+    fig2(engine)
+    fig6(engine)
+    governor_trace(engine)
+
+
+if __name__ == "__main__":
+    main()

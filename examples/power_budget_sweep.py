@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Power-budget sweep — regenerate the paper's Figs. 8-9 comparison.
+
+Runs All-In, Lower-Limit, Coordinated [15], and CLIP across the
+Table-II benchmark suite for a range of cluster power budgets and
+prints the relative-performance matrix (normalized to unbounded
+All-In), plus the per-budget average improvement — the paper's
+headline ">20 % on average".
+
+Run:  python examples/power_budget_sweep.py [budget_w ...]
+"""
+
+import sys
+
+from repro.analysis.experiments import compare_methods, make_schedulers
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.tables import render_table
+from repro.hw.cluster import SimulatedCluster
+from repro.sim.engine import ExecutionEngine
+from repro.workloads import TABLE2_APPS
+
+METHODS = ("All-In", "Lower-Limit", "Coordinated", "CLIP")
+
+
+def main(budgets_w: list[float]) -> None:
+    engine = ExecutionEngine(SimulatedCluster.testbed(), seed=42)
+    print("Profiling the suite and training CLIP...")
+    schedulers = make_schedulers(engine)
+    comp = compare_methods(
+        engine, list(TABLE2_APPS), budgets_w, schedulers, iterations=3
+    )
+
+    for budget in budgets_w:
+        rows = []
+        for app in TABLE2_APPS:
+            rows.append(
+                [app.name]
+                + [comp.cell(m, app.name, budget).relative for m in METHODS]
+            )
+        print()
+        print(
+            render_table(
+                ["Benchmark"] + list(METHODS),
+                rows,
+                title=(
+                    f"Relative performance at {budget:.0f} W "
+                    "(1.0 = unbounded All-In)"
+                ),
+            )
+        )
+        imps = []
+        for app in TABLE2_APPS:
+            clip = comp.cell("CLIP", app.name, budget).relative
+            for m in METHODS[:-1]:
+                cell = comp.cell(m, app.name, budget)
+                if cell.feasible and cell.relative > 0:
+                    imps.append(clip / cell.relative)
+        print(
+            f"CLIP average improvement over compared methods: "
+            f"{geometric_mean(imps) - 1:+.1%}"
+        )
+
+
+if __name__ == "__main__":
+    budgets = [float(b) for b in sys.argv[1:]] or [800.0, 1200.0, 2000.0]
+    main(budgets)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart — schedule one job under a cluster power budget.
+
+Builds the simulated 8-node Haswell testbed, trains CLIP's inflection
+predictor, and asks the scheduler to place NPB SP-MZ under a 1200 W
+cluster budget.  Prints the decision (node count, threads, per-node
+CPU/DRAM caps), the launch script the real framework would emit, and
+the measured outcome of executing that decision.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import quickstart_scheduler
+from repro.core.execution import render_script
+from repro.workloads import get_app
+
+
+def main() -> None:
+    print("Building testbed + training CLIP (one-time cost)...")
+    clip = quickstart_scheduler()
+
+    app = get_app("sp-mz.C")
+    budget_w = 1200.0
+    decision, result = clip.run(app, budget_w, iterations=10)
+
+    print(f"\n=== CLIP decision for {app.name} under {budget_w:.0f} W ===")
+    print(f"scalability class : {decision.scalability_class.value}")
+    print(f"inflection point  : {decision.inflection_point}")
+    print(f"nodes             : {decision.n_nodes} / 8")
+    print(f"threads per node  : {decision.n_threads} / 24")
+    print(f"power allocated   : {decision.total_capped_w:.0f} W of {budget_w:.0f} W")
+    for i, cfg in enumerate(decision.node_configs):
+        print(
+            f"  node {i}: PKG {cfg.pkg_cap_w:6.1f} W  DRAM {cfg.dram_cap_w:5.1f} W"
+            f"  (predicted {cfg.predicted_frequency_hz / 1e9:.2f} GHz)"
+        )
+
+    print("\n=== launch script ===")
+    print(render_script(app, decision))
+
+    print("=== measured execution ===")
+    print(result.summary())
+    print(f"imbalance (max/mean node step time): {result.imbalance:.3f}")
+
+    # contrast with the naive all-nodes/all-cores choice
+    from repro.baselines import AllInScheduler
+
+    naive = AllInScheduler(clip._engine).run(app, budget_w, iterations=10)
+    gain = result.performance / naive.performance - 1.0
+    print(f"\nAll-In under the same budget: {naive.summary()}")
+    print(f"CLIP improvement over All-In: {gain:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

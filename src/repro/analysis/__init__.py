@@ -1,0 +1,48 @@
+"""Evaluation tooling: metrics, table rendering, experiment harness."""
+
+from repro.analysis.metrics import (
+    geometric_mean,
+    improvement_over,
+    relative_performance,
+)
+from repro.analysis.tables import render_table
+from repro.analysis.report import REPORT_SECTIONS, assemble_report
+from repro.analysis.traces import (
+    CapViolation,
+    ThermalAssessment,
+    assess_thermals,
+    audit_cap_violations,
+    cluster_trace_csv,
+    samples_to_csv,
+    summarize_run,
+)
+from repro.analysis.experiments import (
+    ClipSchedulerAdapter,
+    ComparisonCell,
+    MethodComparison,
+    build_trained_inflection,
+    compare_methods,
+    make_schedulers,
+)
+
+__all__ = [
+    "geometric_mean",
+    "improvement_over",
+    "relative_performance",
+    "render_table",
+    "ClipSchedulerAdapter",
+    "ComparisonCell",
+    "MethodComparison",
+    "build_trained_inflection",
+    "compare_methods",
+    "make_schedulers",
+    "CapViolation",
+    "ThermalAssessment",
+    "assess_thermals",
+    "audit_cap_violations",
+    "cluster_trace_csv",
+    "samples_to_csv",
+    "summarize_run",
+    "REPORT_SECTIONS",
+    "assemble_report",
+]

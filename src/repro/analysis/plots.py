@@ -1,0 +1,127 @@
+"""ASCII chart rendering.
+
+The paper's figures are bar charts and line plots; the benchmark
+harness prints their data as tables, and these helpers additionally
+render them as monospace charts so a terminal user can *see* the
+shapes (the paper's Fig.-6 color bands, the Fig.-2 curves) without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_bars", "render_grouped_bars", "render_series"]
+
+_BAR = "#"
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+    fmt: str = "{:.3f}",
+    markers: dict[float, str] | None = None,
+) -> str:
+    """Horizontal bar chart, one bar per label.
+
+    ``markers`` optionally draws labelled vertical guides at given
+    values — e.g. the 0.7 / 1.0 classification thresholds of Fig. 6.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title or ""
+    vmax = max([max(values), 1e-12, *(markers or {})])
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        n = int(round(v / vmax * width))
+        bar = _BAR * n
+        if markers:
+            bar_list = list(bar.ljust(width))
+            for mv in markers:
+                pos = int(round(mv / vmax * width))
+                if 0 <= pos < width:
+                    bar_list[pos] = "|"
+            bar = "".join(bar_list).rstrip()
+        lines.append(f"{str(label).rjust(label_w)} {bar} {fmt.format(v)}")
+    if markers:
+        legend = ", ".join(
+            f"| at {fmt.format(mv)} = {name}" for mv, name in markers.items()
+        )
+        lines.append(f"{' ' * label_w} ({legend})")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(
+    group_labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 40,
+    title: str | None = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Grouped horizontal bars — the Figs. 8-9 layout.
+
+    ``series`` maps a method name to one value per group label.
+    """
+    for name, vals in series.items():
+        if len(vals) != len(group_labels):
+            raise ValueError(f"series {name!r} length mismatch")
+    if not group_labels:
+        return title or ""
+    vmax = max((max(v) for v in series.values()), default=1e-12) or 1e-12
+    name_w = max(len(n) for n in series)
+    lines = [title] if title else []
+    for gi, glabel in enumerate(group_labels):
+        lines.append(f"{glabel}:")
+        for name, vals in series.items():
+            n = int(round(vals[gi] / vmax * width))
+            lines.append(
+                f"  {name.ljust(name_w)} {_BAR * n} {fmt.format(vals[gi])}"
+            )
+    return "\n".join(lines)
+
+
+def render_series(
+    x: Sequence[float],
+    ys: dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Scatter-style line chart — the Fig.-2 curve layout.
+
+    Each named series is drawn with its own glyph on a shared grid;
+    the y-axis is auto-scaled to the data.
+    """
+    glyphs = "ox+*#@%&"
+    for name, y in ys.items():
+        if len(y) != len(x):
+            raise ValueError(f"series {name!r} length mismatch")
+    if not x or not ys:
+        return title or ""
+    ymax = max(max(y) for y in ys.values())
+    ymin = min(min(y) for y in ys.values())
+    yspan = max(ymax - ymin, 1e-12)
+    xmax, xmin = max(x), min(x)
+    xspan = max(xmax - xmin, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, y), glyph in zip(ys.items(), glyphs):
+        for xi, yi in zip(x, y):
+            col = int(round((xi - xmin) / xspan * (width - 1)))
+            row = height - 1 - int(round((yi - ymin) / yspan * (height - 1)))
+            grid[row][col] = glyph
+    lines = [title] if title else []
+    lines.append(f"{ymax:10.3f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{ymin:10.3f} +" + "-" * width)
+    lines.append(" " * 12 + f"{xmin:<10.3g}{' ' * (width - 20)}{xmax:>10.3g}")
+    legend = "  ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(ys.items(), glyphs)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Comparison methods from the evaluation (§V-C).
+
+* :class:`AllInScheduler` — every node, every core, 30 W to memory and
+  the rest of the node share to the CPU;
+* :class:`LowerLimitScheduler` — like All-In, but sheds nodes so no
+  node receives less than a fixed 180 W;
+* :class:`CoordinatedScheduler` — Ge et al. [15]: an application-aware
+  per-node power floor and a model-driven CPU/DRAM split, but always
+  at the highest concurrency;
+* :class:`OracleScheduler` — exhaustive configuration search on the
+  simulator, the "optimal" the paper says CLIP performs close to.
+
+All schedulers share the :class:`PowerBoundedScheduler` interface so
+the evaluation harness treats them and CLIP uniformly.
+"""
+
+from repro.baselines.base import PowerBoundedScheduler
+from repro.baselines.allin import AllInScheduler
+from repro.baselines.lowerlimit import LowerLimitScheduler
+from repro.baselines.coordinated import CoordinatedScheduler
+from repro.baselines.optimal import OracleScheduler
+
+__all__ = [
+    "PowerBoundedScheduler",
+    "AllInScheduler",
+    "LowerLimitScheduler",
+    "CoordinatedScheduler",
+    "OracleScheduler",
+]

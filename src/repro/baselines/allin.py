@@ -1,0 +1,52 @@
+"""The All-In baseline (§V-C).
+
+"This utilizes all supplied nodes.  It allocates 30 watts to memory and
+the remaining power to CPU on each node ... All of the cores
+participate in application execution."  The fixed 30 W memory grant
+"meets most applications' memory power requirement" — the baseline's
+only concession to memory power.
+
+All-In is application-oblivious: no profiling, no concurrency
+throttling, no node shedding.  Under generous budgets it is a strong
+baseline (all the parallelism, adequate memory power); under tight
+budgets each node's CPU share collapses and, for parabolic
+applications, the all-core concurrency actively hurts.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PowerBoundedScheduler
+from repro.errors import InfeasibleBudgetError
+from repro.sim.engine import ExecutionConfig
+from repro.workloads.characteristics import WorkloadCharacteristics
+
+__all__ = ["AllInScheduler", "ALLIN_MEM_W"]
+
+#: Fixed per-node DRAM grant of the baseline.
+ALLIN_MEM_W = 30.0
+
+
+class AllInScheduler(PowerBoundedScheduler):
+    """All nodes, all cores, 30 W DRAM, remainder to the CPUs."""
+
+    name = "All-In"
+
+    def plan(
+        self, app: WorkloadCharacteristics, cluster_budget_w: float
+    ) -> ExecutionConfig:
+        """All nodes, all cores; 30 W DRAM, the rest of each share to PKG."""
+        cluster = self.engine.cluster
+        n_nodes = cluster.n_nodes
+        node_share = cluster_budget_w / n_nodes
+        pkg = node_share - ALLIN_MEM_W
+        if pkg <= 0:
+            raise InfeasibleBudgetError(
+                f"All-In: node share {node_share:.1f} W cannot cover the "
+                f"fixed {ALLIN_MEM_W:.0f} W memory grant"
+            )
+        return ExecutionConfig(
+            n_nodes=n_nodes,
+            n_threads=cluster.spec.node.n_cores,
+            pkg_cap_w=pkg,
+            dram_cap_w=ALLIN_MEM_W,
+        )

@@ -1,0 +1,54 @@
+"""Common interface for power-bounded schedulers.
+
+A scheduler turns ``(application, cluster power budget)`` into an
+:class:`~repro.sim.engine.ExecutionConfig`; the shared :meth:`run`
+executes it.  CLIP's own adapter lives in
+:mod:`repro.analysis.experiments` so that evaluation code can iterate
+over ``[AllIn, LowerLimit, Coordinated, CLIP]`` exactly as the paper's
+figures do.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.sim.engine import ExecutionConfig, ExecutionEngine
+from repro.sim.trace import RunResult
+from repro.workloads.characteristics import WorkloadCharacteristics
+
+__all__ = ["PowerBoundedScheduler"]
+
+
+class PowerBoundedScheduler(abc.ABC):
+    """Base class: plan and run a job under a cluster power budget."""
+
+    #: Display name used in tables and figures.
+    name: str = "scheduler"
+
+    def __init__(self, engine: ExecutionEngine):
+        self._engine = engine
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The execution engine the scheduler plans for."""
+        return self._engine
+
+    @abc.abstractmethod
+    def plan(
+        self, app: WorkloadCharacteristics, cluster_budget_w: float
+    ) -> ExecutionConfig:
+        """Decide the execution configuration for the budget."""
+
+    def run(
+        self,
+        app: WorkloadCharacteristics,
+        cluster_budget_w: float,
+        iterations: int | None = None,
+    ) -> RunResult:
+        """Plan and execute the job."""
+        config = self.plan(app, cluster_budget_w)
+        if iterations is not None:
+            from dataclasses import replace
+
+            config = replace(config, iterations=iterations)
+        return self._engine.run(app, config)

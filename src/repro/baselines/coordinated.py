@@ -1,0 +1,75 @@
+"""The Coordinated baseline — Ge et al., ICPP 2016 [15] (§V-C).
+
+"This method ensures that the nodes participating in computation are
+allocated a budget no less than a preset value *specific to the
+application*.  It coordinates power between CPU and memory according to
+the power model.  The Coordinated method executes applications at the
+highest possible concurrency."
+
+Coordinated is CLIP minus the concurrency/scalability intelligence: it
+profiles the application (reusing the same smart profiler) to learn its
+power demands and acceptable floor at *full* concurrency, sheds nodes
+against that floor, and splits each node's budget between CPU and DRAM
+with the fitted power model — but it never throttles threads and knows
+nothing about scalability classes, which is exactly where CLIP beats it
+on logarithmic and parabolic applications.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PowerBoundedScheduler
+from repro.core.knowledge import KnowledgeDB, KnowledgeEntry
+from repro.core.powermodel import ClipPowerModel
+from repro.core.profile import SmartProfiler
+from repro.errors import InfeasibleBudgetError
+from repro.sim.engine import ExecutionConfig, ExecutionEngine
+from repro.workloads.characteristics import WorkloadCharacteristics
+
+__all__ = ["CoordinatedScheduler"]
+
+
+class CoordinatedScheduler(PowerBoundedScheduler):
+    """App-specific node floor + CPU/DRAM coordination, max concurrency."""
+
+    name = "Coordinated"
+
+    def __init__(
+        self,
+        engine: ExecutionEngine,
+        profiler: SmartProfiler | None = None,
+        knowledge: KnowledgeDB | None = None,
+    ):
+        super().__init__(engine)
+        self._profiler = profiler or SmartProfiler(engine)
+        self._kb = knowledge if knowledge is not None else KnowledgeDB()
+
+    def _power_model(self, app: WorkloadCharacteristics) -> ClipPowerModel:
+        if self._kb.has(app.name, app.problem_size):
+            profile = self._kb.get(app.name, app.problem_size).profile
+        else:
+            profile = self._profiler.profile(app)
+            self._kb.put(KnowledgeEntry(profile=profile))
+        return ClipPowerModel(profile, self.engine.cluster.spec.node)
+
+    def plan(
+        self, app: WorkloadCharacteristics, cluster_budget_w: float
+    ) -> ExecutionConfig:
+        """App-specific node floor; model-driven CPU/DRAM split; all cores."""
+        cluster = self.engine.cluster
+        n_cores = cluster.spec.node.n_cores
+        model = self._power_model(app)
+        floor = model.power_range(n_cores).node_lo_w
+        n_nodes = min(int(cluster_budget_w // floor), cluster.n_nodes)
+        if n_nodes < 1:
+            raise InfeasibleBudgetError(
+                f"Coordinated: budget {cluster_budget_w:.1f} W below the "
+                f"application floor {floor:.1f} W"
+            )
+        node_share = cluster_budget_w / n_nodes
+        pkg, dram = model.split_node_budget(node_share, n_cores)
+        return ExecutionConfig(
+            n_nodes=n_nodes,
+            n_threads=n_cores,
+            pkg_cap_w=pkg,
+            dram_cap_w=dram,
+        )

@@ -1,0 +1,208 @@
+"""Command-line interface: ``clip-sched`` / ``python -m repro``.
+
+Subcommands mirror the framework's helper tools (§IV-B):
+
+* ``apps``      — list the predefined applications;
+* ``profile``   — smart-profile an application and print the result;
+* ``classify``  — just the scalability classification;
+* ``schedule``  — run Algorithm 1 for a budget and print the decision
+  (and launch script);
+* ``run``       — schedule *and* execute on the simulated testbed;
+* ``compare``   — the four-method comparison at one budget.
+
+All commands operate on the simulated 8-node Haswell testbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import (
+    build_trained_inflection,
+    compare_methods,
+    make_schedulers,
+)
+from repro.analysis.tables import render_table
+from repro.core.execution import render_script
+from repro.core.profile import SmartProfiler
+from repro.core.scheduler import ClipScheduler
+from repro.errors import ClipError
+from repro.hw.cluster import SimulatedCluster
+from repro.sim.engine import ExecutionEngine
+from repro.workloads.apps import all_apps, get_app
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="clip-sched",
+        description="CLIP power-bounded scheduling on a simulated Haswell cluster",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="simulation seed (default 42)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list predefined applications")
+
+    p = sub.add_parser("profile", help="smart-profile an application")
+    p.add_argument("app", help="application name (see `apps`)")
+
+    p = sub.add_parser("classify", help="classify an application's scalability")
+    p.add_argument("app")
+
+    for name, help_ in (
+        ("schedule", "run Algorithm 1 and print the decision"),
+        ("run", "schedule and execute on the simulated testbed"),
+    ):
+        p = sub.add_parser(name, help=help_)
+        p.add_argument("app")
+        p.add_argument("budget", type=float, help="cluster power budget (W)")
+        p.add_argument(
+            "--mode",
+            choices=("predictive", "simple"),
+            default="predictive",
+            help="node-count selection: model-scored or Algorithm 1 literal",
+        )
+
+    p = sub.add_parser("compare", help="compare the four methods at one budget")
+    p.add_argument("budget", type=float)
+    p.add_argument(
+        "--apps", nargs="*", default=None, help="subset of application names"
+    )
+
+    p = sub.add_parser(
+        "report", help="assemble the reproduction report from benchmark artifacts"
+    )
+    p.add_argument(
+        "--results",
+        default="benchmarks/results",
+        help="directory the benchmarks wrote their tables to",
+    )
+    return parser
+
+
+def _engine(seed: int) -> ExecutionEngine:
+    return ExecutionEngine(SimulatedCluster.testbed(), seed=seed)
+
+
+def cmd_apps(_args) -> int:
+    rows = [
+        [a.name, a.problem_size, a.description[:48]]
+        for a in all_apps()
+    ]
+    print(render_table(["name", "input", "description"], rows))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    engine = _engine(args.seed)
+    profile = SmartProfiler(engine).profile(get_app(args.app))
+    rows = [
+        ["class", profile.scalability_class.value],
+        ["Perf_half / Perf_all", f"{profile.ratio:.3f}"],
+        ["affinity", profile.affinity.value],
+        ["memory intensive", str(profile.memory_intensive)],
+        ["all-core PKG / DRAM (W)",
+         f"{profile.all_run.pkg_w:.1f} / {profile.all_run.dram_w:.1f}"],
+        ["low-freq PKG / DRAM (W)",
+         f"{profile.all_run.pkg_lo_w:.1f} / {profile.all_run.dram_lo_w:.1f}"],
+        ["measured bandwidth (GB/s)",
+         f"{profile.all_run.events.memory_bandwidth / 1e9:.1f}"],
+    ]
+    print(render_table(["metric", "value"], rows, title=f"Profile: {args.app}"))
+    return 0
+
+
+def cmd_classify(args) -> int:
+    engine = _engine(args.seed)
+    profile = SmartProfiler(engine).profile(get_app(args.app))
+    print(f"{args.app}: {profile.scalability_class.value} (ratio {profile.ratio:.3f})")
+    return 0
+
+
+def _scheduler(engine: ExecutionEngine) -> ClipScheduler:
+    print("Training CLIP's inflection predictor...", file=sys.stderr)
+    return ClipScheduler(engine, inflection=build_trained_inflection(engine))
+
+
+def cmd_schedule(args) -> int:
+    engine = _engine(args.seed)
+    app = get_app(args.app)
+    clip = _scheduler(engine)
+    decision = clip.schedule(app, args.budget, allocation_mode=args.mode)
+    print(render_script(app, decision))
+    print(
+        f"predicted performance: {decision.predicted_perf:.3f} it/s "
+        f"({decision.scalability_class.value}, NP={decision.inflection_point})"
+    )
+    return 0
+
+
+def cmd_run(args) -> int:
+    engine = _engine(args.seed)
+    app = get_app(args.app)
+    clip = _scheduler(engine)
+    decision, result = clip.run(app, args.budget, allocation_mode=args.mode)
+    print(render_script(app, decision))
+    print(result.summary())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    engine = _engine(args.seed)
+    apps = (
+        [get_app(n) for n in args.apps]
+        if args.apps
+        else list(all_apps()[:10])
+    )
+    print("Profiling and training (one-time)...", file=sys.stderr)
+    comp = compare_methods(
+        engine, apps, [args.budget], make_schedulers(engine), iterations=3
+    )
+    methods = ["All-In", "Lower-Limit", "Coordinated", "CLIP"]
+    rows = [
+        [a.name] + [comp.cell(m, a.name, args.budget).relative for m in methods]
+        for a in apps
+    ]
+    print(
+        render_table(
+            ["Benchmark"] + methods,
+            rows,
+            title=f"Relative performance at {args.budget:.0f} W",
+        )
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import assemble_report
+
+    print(assemble_report(args.results))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "apps": cmd_apps,
+        "profile": cmd_profile,
+        "classify": cmd_classify,
+        "schedule": cmd_schedule,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "report": cmd_report,
+    }[args.command]
+    try:
+        return handler(args)
+    except ClipError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Inter-node power coordination under manufacturing variability.
+
+Section III-B.2 (following Inadomi et al., SC'15): nominally identical
+nodes convert watts to frequency differently; under a uniform per-node
+budget the least efficient node paces every bulk-synchronous step.
+CLIP measures per-node efficiency once per cluster with a calibration
+kernel, and — when the spread exceeds a threshold (the paper's testbed
+is "quite homogeneous", so coordination only engages beyond it) —
+redistributes the job's power proportionally to each node's efficiency
+factor so all nodes sustain the same operating point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.sim.engine import ExecutionConfig, ExecutionEngine
+from repro.workloads.characteristics import CommPattern, WorkloadCharacteristics
+
+__all__ = [
+    "VARIABILITY_THRESHOLD",
+    "measure_node_factors",
+    "coordinate_power",
+]
+
+#: Relative max-to-min power spread below which nodes are treated as
+#: homogeneous and budgets stay uniform.
+VARIABILITY_THRESHOLD = 0.05
+
+#: Calibration workload: a fixed compute-bound kernel so measured power
+#: differences reflect the silicon, not workload placement.
+_CALIBRATION_APP = WorkloadCharacteristics(
+    name="clip.calibration",
+    description="fixed DGEMM-like kernel for variability calibration",
+    instructions_per_iter=2.0e10,
+    bytes_per_instruction=0.02,
+    serial_fraction=0.0,
+    sync_cost_s=0.0,
+    ipc_fraction=0.65,
+    shared_fraction=0.05,
+    icache_mpki=0.1,
+    comm_pattern=CommPattern.NONE,
+    iterations=3,
+    problem_size="calibration",
+)
+
+
+def measure_node_factors(engine: ExecutionEngine, n_threads: int | None = None) -> np.ndarray:
+    """Measure each node's power-efficiency factor (mean-normalized).
+
+    Runs the calibration kernel on every node at a fixed frequency and
+    reads RAPL power; a node drawing more watts for the same work gets
+    a factor above 1.  This is a one-time cluster calibration, not a
+    per-application cost.
+
+    The default uses half the cores: an all-core compute kernel sits at
+    the factory power limit, where inefficient parts silently throttle
+    and the power signal collapses to the cap value.
+    """
+    cluster = engine.cluster
+    node_spec = cluster.spec.node
+    n_threads = n_threads or node_spec.n_cores // 2
+    powers = np.empty(cluster.n_nodes)
+    for i in range(cluster.n_nodes):
+        result = engine.run(
+            _CALIBRATION_APP,
+            ExecutionConfig(
+                n_nodes=1,
+                n_threads=n_threads,
+                node_ids=(i,),
+                frequency_hz=node_spec.socket.f_nominal,
+            ),
+        )
+        rec = result.nodes[0]
+        powers[i] = rec.operating_point.pkg_power_w + rec.operating_point.dram_power_w
+    return powers / powers.mean()
+
+
+def coordinate_power(
+    total_budget_w: float,
+    factors: np.ndarray,
+    lo_w: float,
+    hi_w: float,
+    threshold: float = VARIABILITY_THRESHOLD,
+) -> np.ndarray:
+    """Split a job budget across nodes, variability-aware.
+
+    Parameters
+    ----------
+    total_budget_w:
+        Power available to the participating nodes together.
+    factors:
+        Per-node efficiency factors (watts per unit work, normalized);
+        only the participating nodes' entries are passed.
+    lo_w / hi_w:
+        Acceptable per-node power range of the application; budgets are
+        kept inside it.
+    threshold:
+        Spread below which the split stays uniform.
+
+    Returns
+    -------
+    numpy.ndarray
+        Per-node budgets summing to at most ``total_budget_w``.
+
+    Raises
+    ------
+    SchedulingError
+        If the budget cannot give every node at least ``lo_w``.
+    """
+    factors = np.asarray(factors, dtype=np.float64)
+    n = len(factors)
+    if n < 1:
+        raise SchedulingError("need at least one participating node")
+    if lo_w <= 0 or hi_w < lo_w:
+        raise SchedulingError(f"invalid power range [{lo_w}, {hi_w}]")
+    if total_budget_w < n * lo_w - 1e-9:
+        raise SchedulingError(
+            f"budget {total_budget_w:.1f} W cannot give {n} nodes the "
+            f"floor of {lo_w:.1f} W each"
+        )
+    uniform = np.full(n, min(total_budget_w / n, hi_w))
+    spread = factors.max() / factors.min() - 1.0
+    if n == 1 or spread <= threshold:
+        return uniform
+
+    # Proportional split: node i needs factor_i times the watts of the
+    # nominal part to sustain the same frequency.  Clamp into the
+    # acceptable range and hand clipped surplus back proportionally.
+    budgets = np.clip(total_budget_w * factors / factors.sum(), lo_w, hi_w)
+    surplus = total_budget_w - budgets.sum()
+    for _ in range(8):
+        if surplus <= 1e-9:
+            break
+        room = hi_w - budgets
+        open_idx = room > 1e-12
+        if not np.any(open_idx):
+            break
+        add = np.zeros(n)
+        add[open_idx] = surplus * factors[open_idx] / factors[open_idx].sum()
+        new = np.minimum(budgets + add, hi_w)
+        surplus -= float((new - budgets).sum())
+        budgets = new
+    return budgets

@@ -1,0 +1,144 @@
+"""The knowledge database (§IV-B.3).
+
+The Application Execution Module "takes a program and checks whether
+the program has been recorded in our knowledge database"; on a miss it
+triggers smart profiling and stores the result.  Entries are keyed by
+(application name, problem size) — the paper shows the same code with
+different inputs (CloverLeaf) can need different coordination.
+
+Entries hold the profile plus the derived artifacts (inflection point)
+and can be persisted to / restored from JSON, standing in for the
+on-disk database of the real helper tools.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.core.profile import AppProfile, SampleRun
+from repro.errors import KnowledgeBaseError
+from repro.hw.counters import EventCounters
+from repro.hw.numa import AffinityKind
+
+__all__ = ["KnowledgeEntry", "KnowledgeDB"]
+
+
+@dataclass(frozen=True)
+class KnowledgeEntry:
+    """One application's recorded knowledge."""
+
+    profile: AppProfile
+    inflection_point: int | None = None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Database key of this entry."""
+        return (self.profile.app_name, self.profile.problem_size)
+
+
+class KnowledgeDB:
+    """In-memory knowledge database with JSON persistence."""
+
+    def __init__(self):
+        self._entries: dict[tuple[str, str], KnowledgeEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._entries
+
+    def has(self, app_name: str, problem_size: str) -> bool:
+        """Whether the application+input has been profiled before."""
+        return (app_name, problem_size) in self._entries
+
+    def put(self, entry: KnowledgeEntry) -> None:
+        """Insert or replace an entry."""
+        self._entries[entry.key] = entry
+
+    def get(self, app_name: str, problem_size: str) -> KnowledgeEntry:
+        """Fetch an entry; raises on a miss."""
+        try:
+            return self._entries[(app_name, problem_size)]
+        except KeyError:
+            raise KnowledgeBaseError(
+                f"no knowledge for {app_name!r} / {problem_size!r}"
+            ) from None
+
+    def keys(self) -> tuple[tuple[str, str], ...]:
+        """All recorded (name, size) keys."""
+        return tuple(sorted(self._entries))
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the database to a JSON file."""
+        payload = {
+            "version": 1,
+            "entries": [
+                {
+                    "inflection_point": e.inflection_point,
+                    "profile": _profile_to_dict(e.profile),
+                }
+                for e in self._entries.values()
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "KnowledgeDB":
+        """Read a database previously written by :meth:`save`."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise KnowledgeBaseError(f"cannot load knowledge DB: {exc}") from exc
+        if payload.get("version") != 1:
+            raise KnowledgeBaseError(
+                f"unsupported knowledge DB version {payload.get('version')!r}"
+            )
+        db = cls()
+        for raw in payload["entries"]:
+            db.put(
+                KnowledgeEntry(
+                    profile=_profile_from_dict(raw["profile"]),
+                    inflection_point=raw["inflection_point"],
+                )
+            )
+        return db
+
+
+def _profile_to_dict(profile: AppProfile) -> dict:
+    d = asdict(profile)
+    for key in ("all_run", "half_run", "confirm_run"):
+        run = d[key]
+        if run is not None:
+            run["affinity"] = run["affinity"].value
+    return d
+
+
+def _run_from_dict(raw: dict | None) -> SampleRun | None:
+    if raw is None:
+        return None
+    raw = dict(raw)
+    raw["affinity"] = AffinityKind(raw["affinity"])
+    raw["events"] = EventCounters(**raw["events"])
+    raw["phase_times"] = tuple(
+        (name, t) for name, t in raw.get("phase_times", ())
+    )
+    return SampleRun(**raw)
+
+
+def _profile_from_dict(raw: dict) -> AppProfile:
+    return AppProfile(
+        app_name=raw["app_name"],
+        problem_size=raw["problem_size"],
+        n_cores=raw["n_cores"],
+        peak_node_bandwidth=raw["peak_node_bandwidth"],
+        all_run=_run_from_dict(raw["all_run"]),
+        half_run=_run_from_dict(raw["half_run"]),
+        confirm_run=_run_from_dict(raw["confirm_run"]),
+    )

@@ -1,0 +1,284 @@
+"""CLIP's node power model (Eqs. 5–9) fitted from profiling samples.
+
+The framework decomposes node power into processor power (base + one
+load term per active core, Eq. 7) and memory power (base + a
+bandwidth-driven load term, Eq. 9).  CLIP fits those coefficients from
+the two mandatory profiling samples — it has measured (threads, RAPL
+PKG power, RAPL DRAM power, delivered bandwidth, frequency) at the
+half-core and all-core points, which is exactly enough to solve the
+two-parameter models.
+
+Frequency dependence uses public facts only: the DVFS range from the
+machine specification and a generic Haswell dynamic-power exponent.
+From the fitted model CLIP derives the application's **acceptable
+power range** ``[P_cpu,L2 + P_mem,L2, P_cpu,L1 + P_mem,L1]`` (power at
+lowest/highest frequency, §III-B.1), the quantity the cluster-level
+allocator reasons in, plus the CPU/DRAM split of a node budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.profile import AppProfile
+from repro.errors import InfeasibleBudgetError, ProfilingError
+from repro.hw.specs import NodeSpec
+
+__all__ = ["PowerRange", "ClipPowerModel"]
+
+#: CLIP-side assumptions about per-core power: a leakage share that does
+#: not scale with frequency, and the dynamic exponent.  These are
+#: textbook Haswell constants, not readings of the simulator's ground
+#: truth (which may differ per part).
+LEAKAGE_SHARE = 0.15
+DYN_EXPONENT = 2.4
+
+#: Multiplier on the estimated DRAM load power when setting the DRAM
+#: cap: headroom against demand-estimation error is nearly free (the
+#: cap is a ceiling; power follows delivered traffic).
+DRAM_CAP_MARGIN = 1.25
+
+#: Headroom over the DRAM *floor*: base DRAM power varies across nodes
+#: with manufacturing variability, and a cap programmed below a node's
+#: base power is unenforceable (the hardware violates it).
+DRAM_FLOOR_HEADROOM = 1.08
+
+
+@dataclass(frozen=True)
+class PowerRange:
+    """Per-node acceptable power range for one app at one concurrency."""
+
+    cpu_lo_w: float
+    cpu_hi_w: float
+    mem_lo_w: float
+    mem_hi_w: float
+
+    @property
+    def node_lo_w(self) -> float:
+        """Lower bound of the acceptable node power range."""
+        return self.cpu_lo_w + self.mem_lo_w
+
+    @property
+    def node_hi_w(self) -> float:
+        """Upper bound — more power than this is wasted on the node."""
+        return self.cpu_hi_w + self.mem_hi_w
+
+    def contains(self, node_budget_w: float) -> bool:
+        """Whether a node budget falls inside the acceptable range."""
+        return self.node_lo_w <= node_budget_w <= self.node_hi_w
+
+
+class ClipPowerModel:
+    """Eq. 5–9 coefficients fitted from one application's profile."""
+
+    def __init__(self, profile: AppProfile, node: NodeSpec):
+        self._node = node
+        self._f_min = node.socket.f_min
+        self._f_max = node.socket.f_max
+        self._f_nom = node.socket.f_nominal
+
+        half, all_ = profile.half_run, profile.all_run
+
+        # --- processor: pkg = B + n * c * g(f)  (Eq. 7) -----------------
+        # Each sample configuration was measured at both frequency
+        # extremes (§III-B.1), giving four (n, f, pkg) points; the
+        # frequency spread separates the base term from the per-core
+        # load term, which two same-frequency points cannot.
+        points = []
+        for run in (half, all_):
+            points.append((run.n_threads, run.frequency_hz, run.pkg_w))
+            points.append((run.n_threads, run.frequency_lo_hz, run.pkg_lo_w))
+        A = np.array([[1.0, n * self._freq_factor(f)] for n, f, _ in points])
+        b = np.array([p for _, _, p in points])
+        (base, per_core), *_ = np.linalg.lstsq(A, b, rcond=None)
+        # Physical guards: both terms must be non-negative; a tiny or
+        # negative per-core estimate means the samples were power-flat.
+        self._p_base = float(max(base, 0.0))
+        self._p_core = float(max(per_core, 0.05))
+
+        # --- memory: dram = mb + k * bandwidth  (Eq. 9) ----------------
+        bw1 = half.events.memory_bandwidth
+        bw2 = all_.events.memory_bandwidth
+        if abs(bw2 - bw1) > 1e6:
+            k = (all_.dram_w - half.dram_w) / (bw2 - bw1)
+            mb = all_.dram_w - k * bw2
+        else:
+            k, mb = 0.0, min(half.dram_w, all_.dram_w)
+        self._mem_base = float(np.clip(mb, 0.0, min(half.dram_w, all_.dram_w)))
+        self._mem_per_bw = float(max(k, 0.0))
+
+        # measured anchors for interpolation over thread counts
+        self._bw_samples = sorted(
+            [(half.n_threads, bw1), (all_.n_threads, bw2)]
+        )
+        self._dram_lo_samples = sorted(
+            [(half.n_threads, half.dram_lo_w), (all_.n_threads, all_.dram_lo_w)]
+        )
+        self._pkg_hi_samples = sorted(
+            [(half.n_threads, half.pkg_w), (all_.n_threads, all_.pkg_w)]
+        )
+        self._dram_hi_samples = sorted(
+            [(half.n_threads, half.dram_w), (all_.n_threads, all_.dram_w)]
+        )
+        self._pkg_lo_samples = sorted(
+            [(half.n_threads, half.pkg_lo_w), (all_.n_threads, all_.pkg_lo_w)]
+        )
+        self._memory_intensive = profile.memory_intensive
+
+    # ------------------------------------------------------------------
+
+    def _freq_factor(self, f: float) -> float:
+        """Per-core load multiplier at frequency *f* vs. nominal."""
+        rel = f / self._f_nom
+        return LEAKAGE_SHARE + (1.0 - LEAKAGE_SHARE) * rel**DYN_EXPONENT
+
+    @property
+    def p_base_w(self) -> float:
+        """Fitted node-level processor base power (all packages)."""
+        return self._p_base
+
+    @property
+    def p_core_w(self) -> float:
+        """Fitted per-active-core load power at nominal frequency."""
+        return self._p_core
+
+    @property
+    def mem_base_w(self) -> float:
+        """Fitted node-level DRAM base power."""
+        return self._mem_base
+
+    @property
+    def mem_w_per_bw(self) -> float:
+        """Fitted DRAM watts per byte/s of traffic."""
+        return self._mem_per_bw
+
+    # ------------------------------------------------------------------
+
+    def cpu_power(self, n_threads: int, frequency_hz: float) -> float:
+        """Predicted node PKG power (Eq. 6–7)."""
+        if n_threads < 0:
+            raise ProfilingError("n_threads must be >= 0")
+        return self._p_base + n_threads * self._p_core * self._freq_factor(
+            frequency_hz
+        )
+
+    def bandwidth_demand(self, n_threads: int) -> float:
+        """Estimated bandwidth demand at a thread count (B/s).
+
+        Bandwidth extraction grows roughly linearly with threads until
+        the controllers saturate, so the estimate is
+        ``min(n * per-thread rate, saturated rate)`` with the
+        per-thread rate taken from the half-core sample and the
+        saturation level from whichever sample saw more traffic.  A
+        straight interpolation between the samples would *under*state
+        demand between them and starve the DRAM cap.
+        """
+        (n1, b1), (n2, b2) = self._bw_samples
+        per_thread = b1 / n1 if n1 > 0 else 0.0
+        return float(min(n_threads * per_thread, max(b1, b2)))
+
+    def mem_power(self, n_threads: int, level_fraction: float = 1.0) -> float:
+        """Predicted DRAM power (Eq. 8–9) at a memory power level."""
+        bw = self.bandwidth_demand(n_threads) * level_fraction
+        return self._mem_base + self._mem_per_bw * bw
+
+    @staticmethod
+    def _interp(
+        samples: list[tuple[int, float]], n_threads: int, base: float
+    ) -> float:
+        """Linear interpolation between the two measured anchors.
+
+        Below the half-core anchor the value scales with the thread
+        count down to the fitted *base*; above the all-core anchor it
+        stays flat (there are no more cores to add).
+        """
+        (n1, v1), (n2, v2) = samples
+        if n_threads <= n1:
+            return base + (v1 - base) * n_threads / n1
+        if n_threads >= n2:
+            return v2
+        w = (n_threads - n1) / (n2 - n1)
+        return v1 + w * (v2 - v1)
+
+    def max_freq_under(self, pkg_budget_w: float, n_threads: int) -> float | None:
+        """Highest frequency the power model fits under a PKG budget.
+
+        The inversion anchors on the *measured* PKG powers at the two
+        frequency extremes (interpolated over threads) and places the
+        frequency on the generic Haswell dynamic-power curve between
+        them; this keeps the answer consistent with the measured
+        acceptable range even when the fitted base/per-core split is
+        blurred by activity differences between the samples.  Returns
+        ``None`` when even the lowest frequency does not fit.
+        """
+        if n_threads < 1:
+            raise ProfilingError("n_threads must be >= 1")
+        p_lo = self._interp(self._pkg_lo_samples, n_threads, self._p_base)
+        p_hi = max(self.cpu_power(n_threads, self._f_max), p_lo + 1e-6)
+        if pkg_budget_w < p_lo:
+            return None
+        if pkg_budget_w >= p_hi:
+            return self._f_max
+        # interpolate on the dynamic-power curve: p(f) = p_lo +
+        # (p_hi - p_lo) * (g(f) - g(f_min)) / (g(f_max) - g(f_min))
+        g_lo, g_hi = self._freq_factor(self._f_min), self._freq_factor(self._f_max)
+        g = g_lo + (pkg_budget_w - p_lo) / (p_hi - p_lo) * (g_hi - g_lo)
+        rel_dyn = (g - LEAKAGE_SHARE) / (1.0 - LEAKAGE_SHARE)
+        f = self._f_nom * rel_dyn ** (1.0 / DYN_EXPONENT)
+        return float(np.clip(f, self._f_min, self._f_max))
+
+    # ------------------------------------------------------------------
+
+    def power_range(self, n_threads: int) -> PowerRange:
+        """Acceptable power range at a concurrency (§III-B.1).
+
+        L1 (upper) is the power at the highest frequency; L2 (lower) at
+        the lowest — both measured directly during profiling at the
+        sampled concurrencies and interpolated between them, which is
+        more faithful than re-predicting them through the fitted model
+        (the measurements embed the application's true activity).
+        """
+        cpu_hi = self.cpu_power(n_threads, self._f_max)
+        cpu_lo = self._interp(self._pkg_lo_samples, n_threads, self._p_base)
+        cpu_hi = max(cpu_hi, cpu_lo)
+        mem_hi = self.mem_power(n_threads)
+        mem_lo = min(
+            self._interp(self._dram_lo_samples, n_threads, self._mem_base), mem_hi
+        )
+        return PowerRange(
+            cpu_lo_w=cpu_lo, cpu_hi_w=cpu_hi, mem_lo_w=mem_lo, mem_hi_w=mem_hi
+        )
+
+    def split_node_budget(
+        self, node_budget_w: float, n_threads: int
+    ) -> tuple[float, float]:
+        """Split a node budget into (PKG cap, DRAM cap).
+
+        Memory receives its estimated demand plus a safety margin: the
+        DRAM cap is a ceiling, and actual DRAM power follows delivered
+        traffic, so over-provisioning the cap only reserves headroom —
+        whereas under-provisioning throttles bandwidth outright.  The
+        CPU receives the rest, clipped to its own useful ceiling.
+        Raises :class:`InfeasibleBudgetError` when the budget cannot
+        cover the floor of both domains.
+        """
+        rng = self.power_range(n_threads)
+        if node_budget_w < rng.node_lo_w:
+            raise InfeasibleBudgetError(
+                f"node budget {node_budget_w:.1f} W below acceptable floor "
+                f"{rng.node_lo_w:.1f} W at {n_threads} threads"
+            )
+        # Anchor the DRAM grant on the highest *measured* DRAM power —
+        # demand can only fall with fewer threads or a slower clock —
+        # plus headroom; the model estimate alone can overshoot and
+        # steal budget the CPU needs.
+        measured_peak = max(v for _, v in self._dram_hi_samples)
+        target = self._mem_base + (
+            min(rng.mem_hi_w, measured_peak) - self._mem_base
+        ) * DRAM_CAP_MARGIN
+        dram = max(target, rng.mem_lo_w) * DRAM_FLOOR_HEADROOM
+        dram = min(dram, node_budget_w - rng.cpu_lo_w)
+        pkg = min(node_budget_w - dram, rng.cpu_hi_w)
+        return float(pkg), float(dram)

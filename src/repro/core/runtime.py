@@ -1,0 +1,224 @@
+"""Runtime power re-coordination — the paper's stated future work.
+
+Section VII: "One limitation of this work is that CLIP doesn't directly
+support jobs launched with predefined node and core counts.  We plan to
+develop a runtime system to address this issue."  This module is that
+runtime system, built on the same fitted models:
+
+* a job is launched with a *fixed* decomposition (node count, and
+  optionally thread count) that the runtime must respect — the common
+  case for production MPI jobs whose data decomposition is baked in;
+* the runtime executes the job in **segments** and accepts budget
+  changes between segments (machine-room events: another job arrived,
+  a demand-response window opened);
+* on every budget change it re-coordinates: re-splits per-node budgets
+  (variability-aware), re-splits CPU/DRAM within nodes, and — only if
+  the caller allows it — re-throttles concurrency when the budget drops
+  below the acceptable range of the pinned thread count.
+
+The runtime also re-coordinates after a node degradation event
+(:meth:`SimulatedCluster.degrade_node`), re-measuring node factors so
+the weakened part receives compensating power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.coordination import coordinate_power, measure_node_factors
+from repro.core.knowledge import KnowledgeEntry
+from repro.core.perfmodel import PerformancePredictor
+from repro.core.powermodel import ClipPowerModel
+from repro.core.recommend import Recommender
+from repro.core.scheduler import ClipScheduler
+from repro.errors import InfeasibleBudgetError, SchedulingError
+from repro.sim.engine import ExecutionConfig
+from repro.workloads.characteristics import WorkloadCharacteristics
+
+__all__ = ["SegmentRecord", "RunningJob", "PowerBoundedRuntime"]
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One executed segment of a running job."""
+
+    iterations: int
+    budget_w: float
+    n_threads: int
+    time_s: float
+    energy_j: float
+    performance: float
+
+
+@dataclass
+class RunningJob:
+    """A job mid-execution under the runtime's control."""
+
+    app: WorkloadCharacteristics
+    n_nodes: int
+    n_threads: int
+    node_ids: tuple[int, ...]
+    budget_w: float
+    per_node_caps: tuple[tuple[float, float], ...]
+    remaining_iterations: int
+    allow_concurrency_change: bool = False
+    segments: list[SegmentRecord] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        """Whether every iteration has been executed."""
+        return self.remaining_iterations <= 0
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total simulated time across executed segments."""
+        return sum(s.time_s for s in self.segments)
+
+    @property
+    def energy_j(self) -> float:
+        """Total energy across executed segments."""
+        return sum(s.energy_j for s in self.segments)
+
+    @property
+    def mean_performance(self) -> float:
+        """Iterations per second over everything executed so far."""
+        iters = sum(s.iterations for s in self.segments)
+        return iters / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+class PowerBoundedRuntime:
+    """Executes jobs in segments and re-coordinates power on the fly."""
+
+    def __init__(self, scheduler: ClipScheduler):
+        self._scheduler = scheduler
+        self._engine = scheduler._engine
+        self._factors = scheduler.node_factors
+
+    @property
+    def scheduler(self) -> ClipScheduler:
+        """The CLIP scheduler whose models the runtime reuses."""
+        return self._scheduler
+
+    # ------------------------------------------------------------------
+
+    def _models(
+        self, app: WorkloadCharacteristics
+    ) -> tuple[KnowledgeEntry, Recommender]:
+        entry = self._scheduler.ensure_knowledge(app)
+        predictor = PerformancePredictor(entry.profile, entry.inflection_point)
+        power = ClipPowerModel(entry.profile, self._engine.cluster.spec.node)
+        return entry, Recommender(entry.profile, predictor, power)
+
+    def launch(
+        self,
+        app: WorkloadCharacteristics,
+        budget_w: float,
+        n_nodes: int,
+        n_threads: int | None = None,
+        allow_concurrency_change: bool = False,
+    ) -> RunningJob:
+        """Admit a job with a predefined decomposition.
+
+        ``n_nodes`` is fixed for the job's lifetime (the MPI
+        decomposition); ``n_threads`` defaults to the class rule's
+        unbounded choice and is only revisited later if
+        ``allow_concurrency_change`` is set.
+        """
+        if not 1 <= n_nodes <= self._engine.cluster.n_nodes:
+            raise SchedulingError(
+                f"n_nodes {n_nodes} outside [1, {self._engine.cluster.n_nodes}]"
+            )
+        _, recommender = self._models(app)
+        if n_threads is None:
+            n_threads = recommender.unbounded_concurrency()
+        job = RunningJob(
+            app=app,
+            n_nodes=n_nodes,
+            n_threads=n_threads,
+            node_ids=tuple(range(n_nodes)),
+            budget_w=budget_w,
+            per_node_caps=(),
+            remaining_iterations=app.iterations,
+            allow_concurrency_change=allow_concurrency_change,
+        )
+        self._recoordinate(job, recommender)
+        return job
+
+    def update_budget(self, job: RunningJob, new_budget_w: float) -> None:
+        """React to a cluster budget change between segments."""
+        if new_budget_w <= 0:
+            raise SchedulingError("budget must be > 0")
+        job.budget_w = new_budget_w
+        _, recommender = self._models(job.app)
+        self._recoordinate(job, recommender)
+
+    def recalibrate(self) -> None:
+        """Re-measure node power factors (after degradation events)."""
+        self._factors = measure_node_factors(self._engine)
+        # note: running jobs pick the new factors up at their next
+        # budget update / re-coordination
+
+    def _recoordinate(self, job: RunningJob, recommender: Recommender) -> None:
+        """Re-split the job's budget over its fixed decomposition."""
+        power = recommender.power_model
+        rng = power.power_range(job.n_threads)
+        lo, hi = rng.node_lo_w, rng.node_hi_w
+        if job.budget_w < job.n_nodes * lo:
+            if not job.allow_concurrency_change:
+                raise InfeasibleBudgetError(
+                    f"budget {job.budget_w:.0f} W below the {job.n_nodes}-node "
+                    f"floor at the pinned concurrency {job.n_threads}"
+                )
+            # re-recommend threads for the reduced per-node share
+            cfg = recommender.recommend(job.budget_w / job.n_nodes)
+            job.n_threads = cfg.n_threads
+            rng = power.power_range(job.n_threads)
+            lo, hi = rng.node_lo_w, rng.node_hi_w
+        factors = self._factors[list(job.node_ids)]
+        budgets = coordinate_power(
+            min(job.budget_w, job.n_nodes * hi), factors, lo_w=lo, hi_w=hi
+        )
+        caps = []
+        for b in budgets:
+            pkg, dram = power.split_node_budget(float(b), job.n_threads)
+            caps.append((pkg, dram))
+        job.per_node_caps = tuple(caps)
+
+    def advance(self, job: RunningJob, iterations: int) -> SegmentRecord:
+        """Execute up to *iterations* iterations under the current caps."""
+        if job.done:
+            raise SchedulingError("job already finished")
+        if iterations < 1:
+            raise SchedulingError("iterations must be >= 1")
+        chunk = min(iterations, job.remaining_iterations)
+        result = self._engine.run(
+            job.app,
+            ExecutionConfig(
+                n_nodes=job.n_nodes,
+                n_threads=job.n_threads,
+                per_node_caps=job.per_node_caps,
+                node_ids=job.node_ids,
+                iterations=chunk,
+            ),
+        )
+        record = SegmentRecord(
+            iterations=chunk,
+            budget_w=job.budget_w,
+            n_threads=job.n_threads,
+            time_s=result.total_time_s,
+            energy_j=result.energy_j,
+            performance=result.performance,
+        )
+        job.segments.append(record)
+        job.remaining_iterations -= chunk
+        return record
+
+    def run_to_completion(
+        self, job: RunningJob, segment_iterations: int = 50
+    ) -> RunningJob:
+        """Drain the job in fixed-size segments."""
+        while not job.done:
+            self.advance(job, segment_iterations)
+        return job

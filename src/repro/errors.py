@@ -1,0 +1,76 @@
+"""Exception hierarchy for the CLIP reproduction.
+
+All library-raised errors derive from :class:`ClipError` so callers can
+catch a single base class.  Subclasses are grouped by the subsystem that
+raises them: hardware model, workload model, simulation engine, and the
+CLIP scheduler itself.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ClipError",
+    "SpecError",
+    "PowerDomainError",
+    "CapViolationError",
+    "AffinityError",
+    "WorkloadError",
+    "ProfilingError",
+    "ModelNotFittedError",
+    "InfeasibleBudgetError",
+    "SchedulingError",
+    "KnowledgeBaseError",
+]
+
+
+class ClipError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class SpecError(ClipError):
+    """A hardware specification is inconsistent (e.g. zero cores per socket)."""
+
+
+class PowerDomainError(ClipError):
+    """A RAPL power domain was misused (unknown domain, negative cap, ...)."""
+
+
+class CapViolationError(ClipError):
+    """An enforced power cap was exceeded beyond tolerance.
+
+    The simulator raises this only when invariants are broken internally;
+    well-formed configurations resolve caps by throttling instead.
+    """
+
+
+class AffinityError(ClipError):
+    """A thread-to-core mapping is invalid (overcommit, unknown core, ...)."""
+
+
+class WorkloadError(ClipError):
+    """A workload definition is inconsistent (negative intensity, ...)."""
+
+
+class ProfilingError(ClipError):
+    """Smart profiling could not produce a usable profile."""
+
+
+class ModelNotFittedError(ClipError):
+    """A prediction model was queried before :meth:`fit` was called."""
+
+
+class InfeasibleBudgetError(ClipError):
+    """No configuration satisfies the requested power budget.
+
+    Raised when the cluster budget is below the minimum acceptable power
+    for even a single node (the paper's lower bound of the acceptable
+    power range, :math:`P_{cpu,L2} + P_{mem,L2}`).
+    """
+
+
+class SchedulingError(ClipError):
+    """The scheduler reached an internally inconsistent state."""
+
+
+class KnowledgeBaseError(ClipError):
+    """The knowledge database rejected an operation (missing entry, ...)."""

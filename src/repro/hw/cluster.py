@@ -1,0 +1,101 @@
+"""The simulated cluster: a set of nodes plus interconnect facts.
+
+This is the full stand-in for the paper's 8-node Haswell testbed.  It
+owns the :class:`~repro.hw.variability.VariabilityModel`, instantiates
+one :class:`~repro.hw.node.SimulatedNode` per slot with its drawn
+efficiency factor, and exposes the aggregate power-range facts the
+cluster-level allocator needs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecError
+from repro.hw.node import SimulatedNode
+from repro.hw.specs import ClusterSpec, haswell_testbed
+from repro.hw.variability import VariabilityModel
+
+__all__ = ["SimulatedCluster"]
+
+
+class SimulatedCluster:
+    """A cluster of simulated nodes."""
+
+    def __init__(self, spec: ClusterSpec):
+        self._spec = spec
+        self._variability = VariabilityModel(
+            spec.n_nodes, sigma=spec.variability_sigma, seed=spec.variability_seed
+        )
+        self._nodes = [
+            SimulatedNode(spec.node, node_id=i, efficiency=f)
+            for i, f in enumerate(self._variability.factors)
+        ]
+
+    @classmethod
+    def testbed(cls, **kwargs) -> "SimulatedCluster":
+        """The paper's 8-node dual-socket Haswell testbed (§V-A)."""
+        return cls(haswell_testbed(**kwargs))
+
+    @property
+    def spec(self) -> ClusterSpec:
+        """Static cluster description."""
+        return self._spec
+
+    @property
+    def variability(self) -> VariabilityModel:
+        """Per-node efficiency factors."""
+        return self._variability
+
+    @property
+    def nodes(self) -> tuple[SimulatedNode, ...]:
+        """All nodes, indexed by node id."""
+        return tuple(self._nodes)
+
+    def degrade_node(self, node_id: int, factor: float) -> SimulatedNode:
+        """Worsen one node's power efficiency mid-life (fault injection).
+
+        Models field events — thermal-paste degradation, a failing fan
+        forcing higher leakage — by replacing the node with one whose
+        efficiency multiplier is scaled by *factor* (> 1 means more
+        watts for the same work).  Caps, meters, and DVFS state reset
+        with the replacement, as they would across the implied
+        maintenance reboot.  Returns the new node.
+        """
+        if not 0 <= node_id < self.n_nodes:
+            raise SpecError(f"node id {node_id} outside [0, {self.n_nodes})")
+        if factor <= 0:
+            raise SpecError(f"degradation factor must be > 0, got {factor}")
+        old = self._nodes[node_id]
+        replacement = SimulatedNode(
+            self._spec.node, node_id=node_id,
+            efficiency=old.efficiency * factor,
+        )
+        self._nodes[node_id] = replacement
+        return replacement
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the cluster."""
+        return self._spec.n_nodes
+
+    def node(self, node_id: int) -> SimulatedNode:
+        """Access one node by id."""
+        if not 0 <= node_id < self.n_nodes:
+            raise SpecError(f"node id {node_id} outside [0, {self.n_nodes})")
+        return self._nodes[node_id]
+
+    def reset(self) -> None:
+        """Reset every node (caps, meters, DVFS)."""
+        for n in self._nodes:
+            n.reset()
+
+    # -- aggregate power facts used by cluster-level allocation ---------
+
+    @property
+    def p_max_w(self) -> float:
+        """Peak cluster power with every node flat out."""
+        return self._spec.p_cluster_max_w
+
+    @property
+    def p_other_total_w(self) -> float:
+        """Total uncapped component power when all nodes are on."""
+        return self.n_nodes * self._spec.node.p_other_w

@@ -1,0 +1,152 @@
+"""Dynamic voltage and frequency scaling (DVFS).
+
+:class:`FrequencyLadder` wraps a socket's discrete P-state table and
+answers the two questions the rest of the system asks:
+
+* "what frequencies may I run at?" (quantization, neighbors), and
+* "what is the highest frequency whose package power fits under a cap?"
+  — the core of RAPL cap resolution in :mod:`repro.hw.rapl`.
+
+:class:`DvfsController` holds mutable per-core frequency state for one
+socket, mirroring per-core DVFS on Haswell (Fig. 5 of the paper notes
+"per-core DVFS is available").
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.hw.specs import SocketSpec
+
+__all__ = ["FrequencyLadder", "DvfsController"]
+
+
+class FrequencyLadder:
+    """An ascending table of permitted core frequencies (Hz)."""
+
+    def __init__(self, frequencies: Sequence[float]):
+        freqs = tuple(float(f) for f in frequencies)
+        if not freqs:
+            raise SpecError("frequency ladder must be non-empty")
+        if any(f <= 0 for f in freqs):
+            raise SpecError("frequencies must be positive")
+        if tuple(sorted(freqs)) != freqs or len(set(freqs)) != len(freqs):
+            raise SpecError("frequency ladder must be strictly ascending")
+        self._freqs = freqs
+
+    @classmethod
+    def from_socket(cls, socket: SocketSpec) -> "FrequencyLadder":
+        """Build the ladder declared by a socket specification."""
+        return cls(socket.freq_ladder)
+
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        """All permitted frequencies, ascending."""
+        return self._freqs
+
+    @property
+    def f_min(self) -> float:
+        """Lowest P-state."""
+        return self._freqs[0]
+
+    @property
+    def f_max(self) -> float:
+        """Highest P-state (turbo ceiling)."""
+        return self._freqs[-1]
+
+    def __len__(self) -> int:
+        return len(self._freqs)
+
+    def __contains__(self, f: float) -> bool:
+        i = bisect.bisect_left(self._freqs, f)
+        return i < len(self._freqs) and abs(self._freqs[i] - f) < 1e-3
+
+    def quantize_down(self, f: float) -> float:
+        """Largest ladder frequency <= *f* (clamped to ``f_min``)."""
+        i = bisect.bisect_right(self._freqs, f + 1e-6)
+        return self._freqs[max(0, i - 1)]
+
+    def quantize_up(self, f: float) -> float:
+        """Smallest ladder frequency >= *f* (clamped to ``f_max``)."""
+        i = bisect.bisect_left(self._freqs, f - 1e-6)
+        return self._freqs[min(len(self._freqs) - 1, i)]
+
+    def step_down(self, f: float) -> float:
+        """One P-state below *f* (saturating at ``f_min``)."""
+        i = bisect.bisect_left(self._freqs, f - 1e-6)
+        return self._freqs[max(0, i - 1)]
+
+    def step_up(self, f: float) -> float:
+        """One P-state above *f* (saturating at ``f_max``)."""
+        i = bisect.bisect_right(self._freqs, f + 1e-6)
+        return self._freqs[min(len(self._freqs) - 1, i)]
+
+    def highest_under(self, predicate) -> float | None:
+        """Highest frequency for which ``predicate(f)`` is true.
+
+        *predicate* must be monotone (true for low f implies true for
+        all lower f); this is exactly the shape of "power fits under a
+        cap".  The search is a descending linear scan — ladders have at
+        most a few dozen entries, so binary search would buy nothing
+        (per the guides: measure before optimizing).
+
+        Returns ``None`` if the predicate fails even at ``f_min``.
+        """
+        for f in reversed(self._freqs):
+            if predicate(f):
+                return f
+        return None
+
+
+class DvfsController:
+    """Mutable per-core frequency state for one socket."""
+
+    def __init__(self, socket: SocketSpec):
+        self._socket = socket
+        self._ladder = FrequencyLadder.from_socket(socket)
+        self._freqs = np.full(socket.n_cores, socket.f_nominal, dtype=np.float64)
+
+    @property
+    def ladder(self) -> FrequencyLadder:
+        """The P-state table this controller selects from."""
+        return self._ladder
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Current per-core frequencies (a defensive copy)."""
+        return self._freqs.copy()
+
+    def frequency_of(self, core: int) -> float:
+        """Current frequency of *core*."""
+        self._check_core(core)
+        return float(self._freqs[core])
+
+    def set_core(self, core: int, f: float) -> float:
+        """Pin *core* to the ladder frequency nearest below *f*.
+
+        Returns the frequency actually applied.
+        """
+        self._check_core(core)
+        applied = self._ladder.quantize_down(f)
+        self._freqs[core] = applied
+        return applied
+
+    def set_all(self, f: float) -> float:
+        """Pin every core to the ladder frequency nearest below *f*."""
+        applied = self._ladder.quantize_down(f)
+        self._freqs[:] = applied
+        return applied
+
+    def reset(self) -> None:
+        """Return every core to the nominal frequency."""
+        self._freqs[:] = self._socket.f_nominal
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self._socket.n_cores:
+            raise SpecError(
+                f"core index {core} outside [0, {self._socket.n_cores})"
+            )

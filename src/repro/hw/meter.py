@@ -1,0 +1,100 @@
+"""Sampled power measurement.
+
+The paper's helper tools include "a power meter reader" (§IV-B.4) that
+records power traces for jobs.  :class:`PowerMeter` plays that role for
+the simulated testbed: the execution engine reports each steady-state
+interval, and the meter resamples it onto a fixed grid so traces look
+like what a physical meter (or RAPL polling loop) produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.power import PowerBreakdown
+from repro.units import check_non_negative, check_positive
+
+__all__ = ["PowerSample", "PowerMeter"]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One meter reading."""
+
+    t_s: float
+    pkg_w: float
+    dram_w: float
+    other_w: float
+
+    @property
+    def total_w(self) -> float:
+        """Wall power at the sample instant."""
+        return self.pkg_w + self.dram_w + self.other_w
+
+
+class PowerMeter:
+    """Accumulates piecewise-constant power intervals into a trace."""
+
+    def __init__(self, sample_period_s: float = 0.1):
+        self._period = check_positive(sample_period_s, "sample_period_s")
+        self._t = 0.0
+        self._energy_j = 0.0
+        self._intervals: list[tuple[float, float, PowerBreakdown]] = []
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total recorded time."""
+        return self._t
+
+    @property
+    def energy_j(self) -> float:
+        """Exact integrated wall energy over all intervals."""
+        return self._energy_j
+
+    def record(self, breakdown: PowerBreakdown, dt_s: float) -> None:
+        """Append a steady-state interval of *dt_s* seconds."""
+        check_non_negative(dt_s, "dt")
+        if dt_s == 0.0:
+            return
+        self._intervals.append((self._t, self._t + dt_s, breakdown))
+        self._t += dt_s
+        self._energy_j += breakdown.total_w * dt_s
+
+    def average_power_w(self) -> float:
+        """Time-weighted average wall power."""
+        return self._energy_j / self._t if self._t > 0 else 0.0
+
+    def peak_power_w(self) -> float:
+        """Highest interval wall power."""
+        if not self._intervals:
+            return 0.0
+        return max(b.total_w for _, _, b in self._intervals)
+
+    def samples(self) -> list[PowerSample]:
+        """Resample the trace on the meter's fixed period.
+
+        Each sample reports the power of the interval containing the
+        sample instant, matching a polling meter's behaviour.
+        """
+        out: list[PowerSample] = []
+        if not self._intervals:
+            return out
+        times = np.arange(0.0, self._t, self._period)
+        starts = np.array([s for s, _, _ in self._intervals])
+        idx = np.searchsorted(starts, times, side="right") - 1
+        for t, i in zip(times, idx):
+            b = self._intervals[int(i)][2]
+            out.append(
+                PowerSample(
+                    t_s=float(t), pkg_w=b.pkg_w, dram_w=b.dram_w, other_w=b.other_w
+                )
+            )
+        return out
+
+    def reset(self) -> None:
+        """Clear the trace and counters."""
+        self._t = 0.0
+        self._energy_j = 0.0
+        self._intervals.clear()

@@ -1,0 +1,110 @@
+"""A simulated compute node.
+
+:class:`SimulatedNode` composes the per-node substrate pieces — power
+model (with this node's variability factor), RAPL interface, per-socket
+DVFS controllers, NUMA topology, and a power meter — behind the small
+surface the execution engine and CLIP's helper tools use.
+"""
+
+from __future__ import annotations
+
+from repro.hw.dvfs import DvfsController
+from repro.hw.meter import PowerMeter
+from repro.hw.numa import NumaTopology
+from repro.hw.power import PowerModel
+from repro.hw.rapl import Domain, RaplInterface
+from repro.hw.specs import NodeSpec
+
+__all__ = ["SimulatedNode"]
+
+
+class SimulatedNode:
+    """One node of the simulated testbed.
+
+    Parameters
+    ----------
+    spec:
+        Static node description.
+    node_id:
+        Position in the cluster (also used in the default name).
+    efficiency:
+        Manufacturing-variability multiplier for this part.
+    """
+
+    def __init__(self, spec: NodeSpec, node_id: int = 0, efficiency: float = 1.0):
+        self._spec = spec
+        self._node_id = node_id
+        self._power_model = PowerModel(spec, efficiency=efficiency)
+        self._rapl = RaplInterface(self._power_model)
+        self._dvfs = tuple(
+            DvfsController(spec.socket) for _ in range(spec.n_sockets)
+        )
+        self._numa = NumaTopology(spec)
+        self._meter = PowerMeter()
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def spec(self) -> NodeSpec:
+        """Static description of the node."""
+        return self._spec
+
+    @property
+    def node_id(self) -> int:
+        """Cluster-wide index of this node."""
+        return self._node_id
+
+    @property
+    def name(self) -> str:
+        """Human-readable node name."""
+        return f"{self._spec.name}-{self._node_id:02d}"
+
+    @property
+    def efficiency(self) -> float:
+        """This part's variability multiplier."""
+        return self._power_model.efficiency
+
+    # -- substrate components ------------------------------------------
+
+    @property
+    def power_model(self) -> PowerModel:
+        """Ground-truth power model (includes the variability factor)."""
+        return self._power_model
+
+    @property
+    def rapl(self) -> RaplInterface:
+        """RAPL cap/measurement interface."""
+        return self._rapl
+
+    @property
+    def numa(self) -> NumaTopology:
+        """NUMA topology of the node."""
+        return self._numa
+
+    @property
+    def meter(self) -> PowerMeter:
+        """Wall-power meter for this node."""
+        return self._meter
+
+    def dvfs(self, socket: int) -> DvfsController:
+        """Per-socket DVFS controller."""
+        return self._dvfs[socket]
+
+    # -- convenience ----------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        """Physical cores on the node."""
+        return self._spec.n_cores
+
+    def set_power_caps(self, pkg_w: float | None, dram_w: float | None) -> None:
+        """Program both RAPL limits at once (``None`` clears a limit)."""
+        self._rapl.set_cap(Domain.PKG, pkg_w)
+        self._rapl.set_cap(Domain.DRAM, dram_w)
+
+    def reset(self) -> None:
+        """Clear caps, traces, and return DVFS to nominal."""
+        self._rapl.clear_caps()
+        self._meter.reset()
+        for ctrl in self._dvfs:
+            ctrl.reset()

@@ -1,0 +1,364 @@
+"""RAPL-like power domains: measurement and cap enforcement.
+
+Real RAPL (Intel Running Average Power Limit, SDM Vol. 3B [21]) exposes
+per-domain *energy status* registers that accumulate in fixed units and
+wrap around, plus *power limit* registers the hardware honors by
+throttling.  This module reproduces both halves for the two domains the
+paper caps — ``PKG`` (all packages of a node) and ``DRAM``:
+
+* :class:`RaplDomain` — an energy counter with the 32-bit wraparound
+  semantics of the MSR, a cap, and cap bookkeeping;
+* :class:`RaplInterface` — cap *resolution*: given a workload's demand
+  (active cores, activity factor, desired bandwidth) find the highest
+  ladder frequency and memory level that fit under the caps, which is
+  how hardware RAPL actually behaves (it lowers the effective frequency
+  until the running average obeys the limit).
+
+The simulated counters are exact integrators of the analytic power
+model, so tests can assert energy conservation to float precision.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PowerDomainError
+from repro.hw.dvfs import FrequencyLadder
+from repro.hw.power import PowerModel
+from repro.units import check_non_negative, check_positive
+
+__all__ = ["Domain", "RaplDomain", "RaplInterface", "OperatingPoint"]
+
+#: Energy unit of the simulated energy-status register (joules per LSB).
+#: Haswell uses 61 microjoule units; we keep the same granularity.
+ENERGY_UNIT_J = 6.103515625e-05
+
+#: Wraparound modulus of the 32-bit energy-status register.
+ENERGY_WRAP = 2**32
+
+#: Deepest clock-modulation level (Intel T-states step in 6.25 %).
+MIN_DUTY_CYCLE = 0.0625
+
+
+class Domain(enum.Enum):
+    """RAPL domains the paper's framework caps and measures."""
+
+    PKG = "pkg"
+    DRAM = "dram"
+
+
+class RaplDomain:
+    """One power domain: an energy counter plus a power limit."""
+
+    def __init__(self, domain: Domain, max_power_w: float):
+        self._domain = domain
+        self._max_power_w = check_positive(max_power_w, "max_power_w")
+        self._cap_w: float | None = None
+        self._raw_energy = 0  # register value, wraps at ENERGY_WRAP
+        self._total_energy_j = 0.0  # unwrapped, for tests/metrics
+        self._throttle_events = 0
+
+    @property
+    def domain(self) -> Domain:
+        """Which domain this register block controls."""
+        return self._domain
+
+    @property
+    def cap_w(self) -> float | None:
+        """Active power limit in watts, or ``None`` when uncapped."""
+        return self._cap_w
+
+    @property
+    def effective_cap_w(self) -> float:
+        """Cap actually enforced: the limit, clipped to the domain max."""
+        if self._cap_w is None:
+            return self._max_power_w
+        return min(self._cap_w, self._max_power_w)
+
+    @property
+    def throttle_events(self) -> int:
+        """How many cap resolutions required throttling below demand."""
+        return self._throttle_events
+
+    def set_cap(self, watts: float | None) -> None:
+        """Program the power limit; ``None`` clears it."""
+        if watts is not None:
+            check_non_negative(watts, "cap")
+        self._cap_w = watts
+
+    def read_energy_register(self) -> int:
+        """Raw energy-status register (wraps like the hardware MSR)."""
+        return self._raw_energy
+
+    @property
+    def energy_j(self) -> float:
+        """Unwrapped accumulated energy in joules."""
+        return self._total_energy_j
+
+    def accumulate(self, power_w: float, dt_s: float) -> None:
+        """Integrate *power_w* over *dt_s* into the counters."""
+        check_non_negative(power_w, "power")
+        check_non_negative(dt_s, "dt")
+        joules = power_w * dt_s
+        self._total_energy_j += joules
+        ticks = int(round(joules / ENERGY_UNIT_J))
+        self._raw_energy = (self._raw_energy + ticks) % ENERGY_WRAP
+
+    def note_throttled(self) -> None:
+        """Record that honoring the cap required throttling."""
+        self._throttle_events += 1
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Cap-feasible steady state chosen by :meth:`RaplInterface.resolve`.
+
+    Attributes
+    ----------
+    frequency_hz:
+        Ladder frequency all active cores run at.
+    bandwidth_per_socket:
+        Per-socket DRAM bandwidth *ceiling* (B/s) granted by the DRAM
+        cap — the memory power level's allowance, not delivered traffic.
+    pkg_power_w / dram_power_w:
+        Resulting steady-state domain powers.
+    cpu_throttled / mem_throttled:
+        Whether each cap forced operation below the demanded point.
+    cpu_cap_violated / mem_cap_violated:
+        Whether the cap was below the hardware floor (lowest P-state /
+        lowest memory level), in which case the domain runs at its
+        floor and *exceeds* the programmed limit — the behaviour of
+        real RAPL when the limit is set under the minimum operating
+        point.
+    """
+
+    frequency_hz: float
+    bandwidth_per_socket: tuple[float, ...]
+    pkg_power_w: float
+    dram_power_w: float
+    cpu_throttled: bool
+    mem_throttled: bool
+    cpu_cap_violated: bool = False
+    mem_cap_violated: bool = False
+    duty_cycle: float = 1.0
+
+    @property
+    def cap_violated(self) -> bool:
+        """Whether either domain runs above its programmed limit."""
+        return self.cpu_cap_violated or self.mem_cap_violated
+
+    @property
+    def effective_frequency_hz(self) -> float:
+        """Throughput-equivalent clock: P-state x duty cycle.
+
+        Below the lowest P-state's power, RAPL falls back to clock
+        modulation (T-states): the core runs at ``f_min`` but only for
+        ``duty_cycle`` of the time, so delivered instruction throughput
+        scales with the product.
+        """
+        return self.frequency_hz * self.duty_cycle
+
+
+class RaplInterface:
+    """Cap programming and cap resolution for one node.
+
+    Parameters
+    ----------
+    power_model:
+        The node's ground-truth power model (includes its variability
+        multiplier, so an inefficient part throttles earlier — the
+        effect §III-B.2 coordinates away).
+    """
+
+    def __init__(self, power_model: PowerModel):
+        self._model = power_model
+        node = power_model.node
+        self._ladder = FrequencyLadder.from_socket(node.socket)
+        # Factory defaults: PL1 = TDP per package; DRAM limited only by
+        # its own peak draw.  Turbo above TDP is therefore only
+        # reachable when few cores are active, as on real parts.
+        self._domains = {
+            Domain.PKG: RaplDomain(Domain.PKG, node.n_sockets * node.socket.tdp_w),
+            Domain.DRAM: RaplDomain(Domain.DRAM, node.p_mem_max_w),
+        }
+
+    @property
+    def model(self) -> PowerModel:
+        """The underlying ground-truth power model."""
+        return self._model
+
+    def domain(self, domain: Domain) -> RaplDomain:
+        """Access one domain's registers."""
+        try:
+            return self._domains[domain]
+        except KeyError:  # pragma: no cover - enum exhausts domains
+            raise PowerDomainError(f"unknown domain {domain!r}") from None
+
+    def set_cap(self, domain: Domain, watts: float | None) -> None:
+        """Program a domain power limit (``None`` clears it)."""
+        self.domain(domain).set_cap(watts)
+
+    def caps(self) -> dict[Domain, float | None]:
+        """Currently programmed caps."""
+        return {d: reg.cap_w for d, reg in self._domains.items()}
+
+    def clear_caps(self) -> None:
+        """Remove both caps."""
+        for reg in self._domains.values():
+            reg.set_cap(None)
+
+    # ------------------------------------------------------------------
+    # cap resolution
+    # ------------------------------------------------------------------
+
+    def resolve(
+        self,
+        active_per_socket,
+        activity: float,
+        demanded_bandwidth_per_socket,
+        demanded_frequency_hz: float | None = None,
+        strict: bool = False,
+    ) -> OperatingPoint:
+        """Find the operating point hardware capping would settle at.
+
+        The PKG limit is honored by stepping down the shared frequency;
+        the DRAM limit by stepping down the memory power level, which
+        bounds delivered bandwidth.  Both mirror the mechanisms listed
+        in the paper (§I: "memory power level setting, thread
+        concurrency throttling").
+
+        Parameters
+        ----------
+        active_per_socket:
+            Active core counts per socket.
+        activity:
+            Core activity factor in [0, 1] (memory-stalled < 1).
+        demanded_bandwidth_per_socket:
+            Bandwidth (B/s) the workload would consume uncapped.
+        demanded_frequency_hz:
+            Optional software frequency pin; defaults to the ladder max.
+        strict:
+            When true, a cap below the hardware floor raises
+            :class:`PowerDomainError`; the default mirrors real RAPL,
+            which clamps at the lowest operating point and lets the
+            limit be exceeded (flagged via ``cap_violated``).
+        """
+        node = self._model.node
+        active = tuple(int(n) for n in active_per_socket)
+        if len(active) != node.n_sockets:
+            raise PowerDomainError("active_per_socket length != n_sockets")
+        demand_bw = tuple(float(b) for b in demanded_bandwidth_per_socket)
+        if len(demand_bw) != node.n_sockets:
+            raise PowerDomainError("bandwidth list length != n_sockets")
+
+        # --- DRAM: the cap sets a per-socket bandwidth ceiling -----------
+        # The returned ``bandwidth_per_socket`` is the *allowed* ceiling
+        # (what a memory power level grants), not the delivered traffic;
+        # power is accounted from the delivered estimate min(demand, cap).
+        dram_reg = self._domains[Domain.DRAM]
+        dram_cap = dram_reg.effective_cap_w
+        per_socket_cap = dram_cap / node.n_sockets
+        limit = self._model.max_bandwidth_under_dram_cap(per_socket_cap)
+        mem_cap_violated = False
+        if limit is None:
+            if strict:
+                raise PowerDomainError(
+                    f"DRAM cap {dram_cap:.1f} W below base power; cannot honor"
+                )
+            # hardware floor: lowest memory power level keeps running
+            mem = node.socket.memory
+            limit = mem.bandwidth_at_level(0)
+            mem_cap_violated = True
+        bw = tuple(limit for _ in demand_bw)
+        delivered = tuple(min(b, limit) for b in demand_bw)
+        mem_throttled = mem_cap_violated or any(
+            b > limit * (1 + 1e-9) for b in demand_bw
+        )
+        if mem_throttled:
+            dram_reg.note_throttled()
+        dram_w = float(sum(self._model.dram_power(b) for b in delivered))
+
+        # --- PKG: highest ladder frequency fitting under the cap ---
+        pkg_reg = self._domains[Domain.PKG]
+        pkg_cap = pkg_reg.effective_cap_w
+        f_demand = (
+            self._ladder.quantize_down(demanded_frequency_hz)
+            if demanded_frequency_hz is not None
+            else self._ladder.f_max
+        )
+        f_cont = self._model.max_freq_under_pkg_cap(pkg_cap, active, activity)
+        cpu_cap_violated = False
+        duty = 1.0
+        if f_cont is None:
+            if strict:
+                raise PowerDomainError(
+                    f"PKG cap {pkg_cap:.1f} W below static power of "
+                    f"{sum(active)} active cores; cannot honor"
+                )
+            # Below the lowest P-state's power RAPL falls back to clock
+            # modulation: run at f_min but gate the clock for part of
+            # each window.  Gating scales the dynamic term only; if the
+            # cap is below static power even at the deepest duty cycle,
+            # the limit is genuinely violated.
+            f_cont = self._ladder.f_min
+            static = float(
+                sum(
+                    self._model.pkg_power(n, 0.0, activity) for n in active
+                )
+            )
+            dyn_fmin = (
+                float(
+                    sum(
+                        self._model.pkg_power(n, f_cont, activity)
+                        for n in active
+                    )
+                )
+                - static
+            )
+            if dyn_fmin > 0:
+                duty = (pkg_cap - static) / dyn_fmin
+            duty = float(np.clip(duty, MIN_DUTY_CYCLE, 1.0))
+            cpu_cap_violated = pkg_cap < static + MIN_DUTY_CYCLE * max(dyn_fmin, 0.0)
+        f_allowed = self._ladder.quantize_down(f_cont)
+        cpu_throttled = duty < 1.0 or cpu_cap_violated or f_allowed < f_demand
+        if cpu_throttled:
+            pkg_reg.note_throttled()
+        f = min(f_demand, f_allowed)
+        pkg_w = float(
+            sum(
+                self._model.pkg_power(n, 0.0, activity)
+                + (
+                    self._model.pkg_power(n, f, activity)
+                    - self._model.pkg_power(n, 0.0, activity)
+                )
+                * duty
+                for n in active
+            )
+        )
+        return OperatingPoint(
+            frequency_hz=f,
+            bandwidth_per_socket=bw,
+            pkg_power_w=pkg_w,
+            dram_power_w=dram_w,
+            cpu_throttled=cpu_throttled,
+            mem_throttled=mem_throttled,
+            cpu_cap_violated=cpu_cap_violated,
+            mem_cap_violated=mem_cap_violated,
+            duty_cycle=duty,
+        )
+
+    # ------------------------------------------------------------------
+    # energy accounting
+    # ------------------------------------------------------------------
+
+    def accumulate(self, point: OperatingPoint, dt_s: float) -> None:
+        """Integrate a steady-state interval into the energy counters."""
+        self._domains[Domain.PKG].accumulate(point.pkg_power_w, dt_s)
+        self._domains[Domain.DRAM].accumulate(point.dram_power_w, dt_s)
+
+    def energy_j(self, domain: Domain) -> float:
+        """Unwrapped accumulated energy of *domain* in joules."""
+        return self.domain(domain).energy_j

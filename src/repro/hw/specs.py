@@ -1,0 +1,366 @@
+"""Static hardware specifications.
+
+The dataclasses here describe the *shape* of a machine — core counts,
+frequency range, peak bandwidths, and the coefficients of the analytic
+power model.  They are immutable; runtime state (current frequency,
+caps, energy counters) lives in :mod:`repro.hw.node`.
+
+:func:`haswell_testbed` builds the paper's evaluation platform: an
+8-node cluster where each node has two 12-core Intel Xeon E5-2670 v3
+(Haswell) processors at 2.30 GHz and 128 GB of DDR4 split evenly across
+the two NUMA sockets (§V-A).  Power-model coefficients are calibrated to
+public Haswell figures: 120 W TDP per package and DDR4 DIMM power in the
+tens of watts per socket under load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SpecError
+from repro.units import GHZ, gbps, ghz
+
+__all__ = [
+    "CoreSpec",
+    "SocketSpec",
+    "MemorySpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "haswell_node",
+    "haswell_testbed",
+    "broadwell_node",
+    "broadwell_testbed",
+    "HASWELL_FREQ_LADDER_GHZ",
+    "BROADWELL_FREQ_LADDER_GHZ",
+]
+
+#: Discrete DVFS ladder of the E5-2670 v3 in GHz.  1.2 GHz is the lowest
+#: P-state, 2.3 GHz the nominal frequency, 3.1 GHz the max turbo bin.
+HASWELL_FREQ_LADDER_GHZ: tuple[float, ...] = (
+    1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0, 2.1, 2.2, 2.3,
+    2.4, 2.5, 2.6, 2.7, 2.8, 2.9, 3.0, 3.1,
+)
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """A single CPU core.
+
+    Attributes
+    ----------
+    ipc_peak:
+        Peak retired instructions per cycle for compute-bound code; used
+        by the event synthesizer and the workload ground-truth model.
+    p_leak_w:
+        Static (leakage) power drawn whenever the core is active,
+        independent of frequency.
+    p_dyn_w:
+        Dynamic power at the *nominal* frequency under full load.  The
+        power model scales this as ``(f / f_nominal) ** dyn_exponent``.
+    dyn_exponent:
+        Exponent of the frequency–power relationship.  Voltage scales
+        roughly linearly with frequency in the DVFS range, making
+        dynamic power super-linear; 2.4 is a common empirical fit for
+        Haswell.
+    """
+
+    ipc_peak: float = 4.0
+    p_leak_w: float = 1.0
+    p_dyn_w: float = 7.5
+    dyn_exponent: float = 2.4
+
+    def __post_init__(self) -> None:
+        if self.ipc_peak <= 0:
+            raise SpecError(f"ipc_peak must be > 0, got {self.ipc_peak}")
+        if self.p_leak_w < 0 or self.p_dyn_w <= 0:
+            raise SpecError("core power coefficients must be non-negative")
+        if not 1.0 <= self.dyn_exponent <= 3.5:
+            raise SpecError(
+                f"dyn_exponent outside plausible range [1, 3.5]: {self.dyn_exponent}"
+            )
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """The DRAM attached to one NUMA socket.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Installed DRAM capacity.
+    peak_bandwidth:
+        Peak sustainable read+write bandwidth (bytes/s) at the highest
+        memory power level.
+    p_base_w:
+        Background DRAM power (refresh, PLLs) at idle — the
+        :math:`P_{mbase}` term of Eq. 9.
+    p_load_max_w:
+        Additional power at peak bandwidth — the :math:`P_{mload}` term
+        of Eq. 9 evaluated at full load.  Load power is modeled as
+        linear in delivered bandwidth, the relationship RAPL's DRAM
+        domain exploits.
+    n_power_levels:
+        Number of discrete memory power levels the platform exposes
+        (bandwidth throttling states used to honor a DRAM cap).
+    """
+
+    capacity_bytes: float = 64 * 2**30
+    peak_bandwidth: float = gbps(59.7)
+    p_base_w: float = 4.0
+    p_load_max_w: float = 14.0
+    n_power_levels: int = 8
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.peak_bandwidth <= 0:
+            raise SpecError("memory capacity and bandwidth must be > 0")
+        if self.p_base_w < 0 or self.p_load_max_w < 0:
+            raise SpecError("memory power coefficients must be >= 0")
+        if self.n_power_levels < 1:
+            raise SpecError("need at least one memory power level")
+
+    @property
+    def p_max_w(self) -> float:
+        """Maximum DRAM power for this socket (base + full load)."""
+        return self.p_base_w + self.p_load_max_w
+
+    def bandwidth_at_level(self, level: int) -> float:
+        """Peak bandwidth available at a discrete power *level*.
+
+        Level ``n_power_levels - 1`` is full speed; level 0 retains a
+        floor of 1/n of peak so memory never stalls completely.
+        """
+        if not 0 <= level < self.n_power_levels:
+            raise SpecError(
+                f"memory power level {level} outside [0, {self.n_power_levels})"
+            )
+        return self.peak_bandwidth * (level + 1) / self.n_power_levels
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """One processor package plus its local memory controller.
+
+    Attributes
+    ----------
+    n_cores:
+        Physical cores in the package.
+    f_min / f_nominal / f_max:
+        DVFS range in Hz; ``f_max`` includes turbo headroom.
+    freq_ladder:
+        Discrete frequencies (Hz) the DVFS controller may select.
+    p_base_w:
+        Package power with all cores idle — uncore, caches, and the
+        memory controller: the :math:`P_{pbase}` term of Eq. 7.
+    tdp_w:
+        Thermal design power of the package; default PKG RAPL cap.
+    core:
+        Per-core specification.
+    memory:
+        Local DRAM specification.
+    """
+
+    n_cores: int = 12
+    f_min: float = ghz(1.2)
+    f_nominal: float = ghz(2.3)
+    f_max: float = ghz(3.1)
+    freq_ladder: tuple[float, ...] = tuple(f * GHZ for f in HASWELL_FREQ_LADDER_GHZ)
+    p_base_w: float = 16.0
+    tdp_w: float = 120.0
+    core: CoreSpec = field(default_factory=CoreSpec)
+    memory: MemorySpec = field(default_factory=MemorySpec)
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise SpecError(f"socket needs >= 1 core, got {self.n_cores}")
+        if not 0 < self.f_min <= self.f_nominal <= self.f_max:
+            raise SpecError(
+                "frequency range must satisfy 0 < f_min <= f_nominal <= f_max"
+            )
+        if not self.freq_ladder:
+            raise SpecError("freq_ladder must be non-empty")
+        if tuple(sorted(self.freq_ladder)) != self.freq_ladder:
+            raise SpecError("freq_ladder must be sorted ascending")
+        if abs(self.freq_ladder[0] - self.f_min) > 1e3:
+            raise SpecError("freq_ladder must start at f_min")
+        if abs(self.freq_ladder[-1] - self.f_max) > 1e3:
+            raise SpecError("freq_ladder must end at f_max")
+        if self.p_base_w < 0 or self.tdp_w <= 0:
+            raise SpecError("socket power coefficients must be valid")
+
+    @property
+    def p_pkg_max_w(self) -> float:
+        """Package power with all cores at maximum frequency.
+
+        May exceed ``tdp_w``: turbo is opportunistic, and RAPL resolves
+        the overshoot by clipping frequency — exactly the behaviour the
+        cap-resolution logic models.
+        """
+        core_w = self.core.p_leak_w + self.core.p_dyn_w * (
+            self.f_max / self.f_nominal
+        ) ** self.core.dyn_exponent
+        return self.p_base_w + self.n_cores * core_w
+
+    @property
+    def p_pkg_min_active_w(self) -> float:
+        """Package power with all cores active at the lowest frequency."""
+        core_w = self.core.p_leak_w + self.core.p_dyn_w * (
+            self.f_min / self.f_nominal
+        ) ** self.core.dyn_exponent
+        return self.p_base_w + self.n_cores * core_w
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node: one or more sockets plus non-capped components.
+
+    ``p_other_w`` covers the board, fans, NIC, and disks — the
+    :math:`P_{OtherT}` term of Eq. 5.  It is constant and outside RAPL
+    control, so schedulers must subtract it from any node budget before
+    splitting power between CPU and DRAM.
+    """
+
+    name: str = "node"
+    n_sockets: int = 2
+    socket: SocketSpec = field(default_factory=SocketSpec)
+    p_other_w: float = 35.0
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1:
+            raise SpecError(f"node needs >= 1 socket, got {self.n_sockets}")
+        if self.p_other_w < 0:
+            raise SpecError("p_other_w must be >= 0")
+
+    @property
+    def n_cores(self) -> int:
+        """Total physical cores on the node."""
+        return self.n_sockets * self.socket.n_cores
+
+    @property
+    def p_cpu_max_w(self) -> float:
+        """Aggregate package power ceiling across sockets."""
+        return self.n_sockets * self.socket.p_pkg_max_w
+
+    @property
+    def p_mem_max_w(self) -> float:
+        """Aggregate DRAM power ceiling across sockets."""
+        return self.n_sockets * self.socket.memory.p_max_w
+
+    @property
+    def p_node_max_w(self) -> float:
+        """Peak node power: CPU + DRAM + uncapped components."""
+        return self.p_cpu_max_w + self.p_mem_max_w + self.p_other_w
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Aggregate DRAM bandwidth across sockets (bytes/s)."""
+        return self.n_sockets * self.socket.memory.peak_bandwidth
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of nodes plus its interconnect.
+
+    ``variability_sigma`` is the relative standard deviation of each
+    node's power-efficiency multiplier due to manufacturing variability
+    (§III-B.2); the paper's testbed is "quite homogeneous" so the
+    default is small.  The interconnect is described by an alpha–beta
+    model consumed by :mod:`repro.sim.mpi`.
+    """
+
+    name: str = "cluster"
+    n_nodes: int = 8
+    node: NodeSpec = field(default_factory=NodeSpec)
+    link_latency_s: float = 1.5e-6
+    link_bandwidth: float = gbps(6.8)
+    variability_sigma: float = 0.03
+    variability_seed: int = 2017
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise SpecError(f"cluster needs >= 1 node, got {self.n_nodes}")
+        if self.link_latency_s < 0 or self.link_bandwidth <= 0:
+            raise SpecError("interconnect parameters must be valid")
+        if not 0.0 <= self.variability_sigma < 0.5:
+            raise SpecError("variability_sigma must lie in [0, 0.5)")
+
+    @property
+    def total_cores(self) -> int:
+        """Total physical cores in the cluster."""
+        return self.n_nodes * self.node.n_cores
+
+    @property
+    def p_cluster_max_w(self) -> float:
+        """Peak cluster power (all nodes flat out)."""
+        return self.n_nodes * self.node.p_node_max_w
+
+
+def haswell_node(name: str = "haswell") -> NodeSpec:
+    """The paper's node: 2× 12-core E5-2670 v3 @ 2.30 GHz, 128 GB DDR4."""
+    return NodeSpec(name=name)
+
+
+def haswell_testbed(
+    n_nodes: int = 8,
+    variability_sigma: float = 0.03,
+    seed: int = 2017,
+) -> ClusterSpec:
+    """The paper's testbed: an 8-node dual-socket Haswell cluster (§V-A)."""
+    return ClusterSpec(
+        name="haswell-testbed",
+        n_nodes=n_nodes,
+        node=haswell_node(),
+        variability_sigma=variability_sigma,
+        variability_seed=seed,
+    )
+
+
+#: Broadwell (E5-2698 v4 class) DVFS ladder in GHz.
+BROADWELL_FREQ_LADDER_GHZ: tuple[float, ...] = (
+    1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0, 2.1, 2.2,
+    2.3, 2.4, 2.5, 2.6, 2.7, 2.8, 2.9, 3.0, 3.1, 3.2, 3.3, 3.4, 3.5, 3.6,
+)
+
+
+def broadwell_node(name: str = "broadwell") -> NodeSpec:
+    """A next-generation node: 2x 20-core Broadwell-class sockets.
+
+    More cores per socket at a lower nominal clock, a higher TDP, and
+    faster DDR4 — the kind of platform shift that broke the fixed
+    regression models CLIP's related work used ("hardware evolution
+    causes the old methods to lose precision", §III-A), and exactly
+    what the profile-driven method should absorb without retuning.
+    """
+    socket = SocketSpec(
+        n_cores=20,
+        f_min=ghz(1.2),
+        f_nominal=ghz(2.2),
+        f_max=ghz(3.6),
+        freq_ladder=tuple(f * GHZ for f in BROADWELL_FREQ_LADDER_GHZ),
+        p_base_w=20.0,
+        tdp_w=135.0,
+        core=CoreSpec(p_dyn_w=5.2),
+        memory=MemorySpec(
+            capacity_bytes=128 * 2**30,
+            peak_bandwidth=gbps(68.0),
+            p_base_w=5.0,
+            p_load_max_w=16.0,
+        ),
+    )
+    return NodeSpec(name=name, n_sockets=2, socket=socket, p_other_w=40.0)
+
+
+def broadwell_testbed(
+    n_nodes: int = 8,
+    variability_sigma: float = 0.03,
+    seed: int = 2016,
+) -> ClusterSpec:
+    """An 8-node Broadwell-class cluster for generality studies."""
+    return ClusterSpec(
+        name="broadwell-testbed",
+        n_nodes=n_nodes,
+        node=broadwell_node(),
+        link_latency_s=1.2e-6,
+        link_bandwidth=gbps(12.0),
+        variability_sigma=variability_sigma,
+        variability_seed=seed,
+    )

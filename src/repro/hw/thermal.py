@@ -1,0 +1,168 @@
+"""Package thermal model and thermal throttling.
+
+Power limits exist partly *because* of heat: the related work the paper
+builds on includes temperature-constrained power control (Wang [42])
+and thermal-aware management (Hanson [19]).  This module adds the
+thermal side of the substrate: a lumped RC model of package temperature
+and the PROCHOT-style throttle that preempts RAPL when silicon
+overheats.
+
+.. math::
+
+    C \\frac{dT}{dt} = P(t) - \\frac{T - T_{ambient}}{R}
+
+Steady state sits at ``T_amb + P*R``; the default coefficients put an
+uncapped 120 W package in the high 70s °C with a 100 °C junction limit,
+so ordinary capped operation never throttles — but an aggressive budget
+*raise* into a hot room does, which is exactly the scenario
+temperature-aware work worries about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.units import check_positive
+
+__all__ = ["ThermalSpec", "ThermalModel", "ThermalSample"]
+
+
+@dataclass(frozen=True)
+class ThermalSpec:
+    """Lumped thermal parameters of one package + heatsink.
+
+    Attributes
+    ----------
+    r_c_per_w:
+        Junction-to-ambient thermal resistance (°C per watt).
+    c_j_per_c:
+        Lumped heat capacity (joules per °C) — package plus the part of
+        the heatsink on the fast time constant.
+    t_ambient_c:
+        Inlet air temperature.
+    t_junction_max_c:
+        PROCHOT trip point.
+    t_hysteresis_c:
+        Temperature must fall this far below the trip point before the
+        throttle releases (prevents trip/release chatter).
+    """
+
+    r_c_per_w: float = 0.38
+    c_j_per_c: float = 120.0
+    t_ambient_c: float = 28.0
+    t_junction_max_c: float = 100.0
+    t_hysteresis_c: float = 4.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.r_c_per_w, "r_c_per_w")
+        check_positive(self.c_j_per_c, "c_j_per_c")
+        if self.t_junction_max_c <= self.t_ambient_c:
+            raise SpecError("junction limit must exceed ambient")
+        if self.t_hysteresis_c < 0:
+            raise SpecError("hysteresis must be >= 0")
+
+    @property
+    def tau_s(self) -> float:
+        """Thermal time constant R*C (seconds)."""
+        return self.r_c_per_w * self.c_j_per_c
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Equilibrium temperature under constant *power_w*."""
+        return self.t_ambient_c + power_w * self.r_c_per_w
+
+    def max_sustainable_power_w(self) -> float:
+        """Power whose equilibrium sits exactly at the junction limit."""
+        return (self.t_junction_max_c - self.t_ambient_c) / self.r_c_per_w
+
+
+@dataclass(frozen=True)
+class ThermalSample:
+    """One integration step's state."""
+
+    t_s: float
+    temperature_c: float
+    power_w: float
+    throttled: bool
+
+
+class ThermalModel:
+    """Time-stepped RC integration with PROCHOT hysteresis."""
+
+    def __init__(self, spec: ThermalSpec | None = None):
+        self._spec = spec or ThermalSpec()
+        self._temp = self._spec.t_ambient_c
+        self._throttled = False
+        self._t = 0.0
+
+    @property
+    def spec(self) -> ThermalSpec:
+        """The thermal parameters."""
+        return self._spec
+
+    @property
+    def temperature_c(self) -> float:
+        """Current junction temperature."""
+        return self._temp
+
+    @property
+    def throttled(self) -> bool:
+        """Whether PROCHOT is currently asserted."""
+        return self._throttled
+
+    def reset(self, temperature_c: float | None = None) -> None:
+        """Return to ambient (or a given temperature) and release PROCHOT."""
+        self._temp = (
+            temperature_c if temperature_c is not None else self._spec.t_ambient_c
+        )
+        self._throttled = False
+        self._t = 0.0
+
+    def step(self, power_w: float, dt_s: float) -> ThermalSample:
+        """Integrate one interval of constant *power_w*.
+
+        Uses the exact exponential solution of the RC equation (stable
+        for any ``dt``), then updates the PROCHOT state with
+        hysteresis.
+        """
+        if power_w < 0:
+            raise SpecError("power must be >= 0")
+        check_positive(dt_s, "dt")
+        spec = self._spec
+        t_inf = spec.steady_state_c(power_w)
+        decay = float(np.exp(-dt_s / spec.tau_s))
+        self._temp = t_inf + (self._temp - t_inf) * decay
+        self._t += dt_s
+
+        if self._temp >= spec.t_junction_max_c:
+            self._throttled = True
+        elif self._temp <= spec.t_junction_max_c - spec.t_hysteresis_c:
+            self._throttled = False
+        return ThermalSample(
+            t_s=self._t,
+            temperature_c=self._temp,
+            power_w=power_w,
+            throttled=self._throttled,
+        )
+
+    def run(self, power_w: float, duration_s: float, dt_s: float = 1.0):
+        """Integrate a constant-power phase; returns every sample."""
+        n = max(int(round(duration_s / dt_s)), 1)
+        return [self.step(power_w, dt_s) for _ in range(n)]
+
+    def time_to_throttle_s(self, power_w: float) -> float | None:
+        """Analytic time until PROCHOT at constant *power_w* from now.
+
+        ``None`` if the equilibrium stays below the junction limit
+        (sustainable power).
+        """
+        spec = self._spec
+        t_inf = spec.steady_state_c(power_w)
+        if t_inf < spec.t_junction_max_c:
+            return None
+        if self._temp >= spec.t_junction_max_c:
+            return 0.0
+        frac = (t_inf - spec.t_junction_max_c) / (t_inf - self._temp)
+        return float(-spec.tau_s * np.log(frac))

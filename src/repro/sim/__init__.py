@@ -1,0 +1,26 @@
+"""Execution engine: runs workloads on the simulated testbed.
+
+* :mod:`repro.sim.affinity` — thread placement policies (compact /
+  scatter) and their NUMA consequences,
+* :mod:`repro.sim.mpi` — the alpha–beta inter-node communication model,
+* :mod:`repro.sim.trace` — run records and results,
+* :mod:`repro.sim.engine` — the steady-state execution engine that
+  resolves RAPL caps against workload demand and produces times,
+  powers, energies, and hardware-event counters.
+"""
+
+from repro.sim.affinity import Placement, make_placement, placement_for
+from repro.sim.mpi import CommModel
+from repro.sim.trace import NodeRunRecord, RunResult
+from repro.sim.engine import ExecutionConfig, ExecutionEngine
+
+__all__ = [
+    "Placement",
+    "make_placement",
+    "placement_for",
+    "CommModel",
+    "NodeRunRecord",
+    "RunResult",
+    "ExecutionConfig",
+    "ExecutionEngine",
+]

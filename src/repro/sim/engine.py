@@ -1,0 +1,349 @@
+"""The steady-state execution engine.
+
+Runs a workload on the simulated cluster under a concrete execution
+configuration (nodes, threads, affinity, per-node power caps) and
+returns a :class:`~repro.sim.trace.RunResult`.
+
+The engine resolves the circular dependency between power capping and
+performance by fixed-point iteration: the workload's bandwidth demand
+and core activity depend on the iteration time, which depends on the
+RAPL-resolved frequency and bandwidth, which depend on demand and
+activity.  The loop is damped and converges in a handful of rounds
+(each round is O(sockets) arithmetic, so a full cluster run costs
+microseconds — cheap enough for the exhaustive oracle baseline).
+
+Execution is bulk-synchronous: every iteration, all participating
+nodes compute their local share, then exchange halos/collectives; the
+slowest node paces the step, which is how manufacturing variability
+turns into synchronization waste (§III-B.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.hw.cluster import SimulatedCluster
+from repro.hw.counters import EventCounters, synthesize_counters
+from repro.hw.numa import AffinityKind
+from repro.hw.power import PowerBreakdown
+from repro.sim.affinity import Placement, make_placement, placement_for
+from repro.sim.mpi import CommModel
+from repro.sim.trace import NodeRunRecord, RunResult
+from repro.workloads.characteristics import WorkloadCharacteristics
+from repro.workloads.model import GroundTruthModel
+
+__all__ = ["ExecutionConfig", "ExecutionEngine"]
+
+#: Fixed-point iteration control.
+_MAX_ROUNDS = 12
+_DAMPING = 0.5
+_REL_TOL = 1e-6
+
+#: Activity floor used for cores idling at the step barrier.
+_IDLE_ACTIVITY = 0.05
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Everything the launcher decides before a run.
+
+    ``pkg_cap_w`` / ``dram_cap_w`` are *per participating node* and
+    cover all sockets of the node (``None`` leaves the factory default
+    limit); ``per_node_caps`` overrides them with one ``(pkg, dram)``
+    pair per node for variability-coordinated allocations (§III-B.2).
+    ``node_ids`` selects specific nodes (defaults to the first
+    ``n_nodes``).  ``phase_threads`` optionally overrides the thread
+    count of named workload phases — the paper's BT-MZ phase-wise
+    concurrency adjustment (§V-B.1).  ``scaling`` chooses strong
+    (divide the global problem over the nodes, the paper's setting) or
+    weak (a reference-size domain per node) execution.
+    """
+
+    n_nodes: int
+    n_threads: int
+    affinity: AffinityKind | None = None
+    pkg_cap_w: float | None = None
+    dram_cap_w: float | None = None
+    per_node_caps: tuple[tuple[float, float], ...] | None = None
+    node_ids: tuple[int, ...] | None = None
+    frequency_hz: float | None = None
+    iterations: int | None = None
+    phase_threads: dict[str, int] = field(default_factory=dict)
+    scaling: str = "strong"
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise SchedulingError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.n_threads < 1:
+            raise SchedulingError(f"n_threads must be >= 1, got {self.n_threads}")
+        if self.iterations is not None and self.iterations < 1:
+            raise SchedulingError("iterations override must be >= 1")
+        if self.per_node_caps is not None and len(self.per_node_caps) != self.n_nodes:
+            raise SchedulingError("per_node_caps must have one entry per node")
+        if self.node_ids is not None and len(self.node_ids) != self.n_nodes:
+            raise SchedulingError("node_ids must have one entry per node")
+        if self.scaling not in ("strong", "weak"):
+            raise SchedulingError(
+                f"scaling must be 'strong' or 'weak', got {self.scaling!r}"
+            )
+
+    def caps_for(self, rank: int) -> tuple[float | None, float | None]:
+        """(PKG, DRAM) caps for the rank-th participating node."""
+        if self.per_node_caps is not None:
+            return self.per_node_caps[rank]
+        return self.pkg_cap_w, self.dram_cap_w
+
+    @property
+    def node_budget_w(self) -> float | None:
+        """Capped (PKG+DRAM) budget per node, when both caps are set."""
+        if self.pkg_cap_w is None or self.dram_cap_w is None:
+            return None
+        return self.pkg_cap_w + self.dram_cap_w
+
+
+class ExecutionEngine:
+    """Runs workloads on a :class:`SimulatedCluster`."""
+
+    def __init__(self, cluster: SimulatedCluster, seed: int = 42):
+        self._cluster = cluster
+        self._model = GroundTruthModel(cluster.spec.node)
+        self._comm = CommModel(cluster.spec)
+        self._seed = seed
+
+    @property
+    def cluster(self) -> SimulatedCluster:
+        """The testbed this engine executes on."""
+        return self._cluster
+
+    @property
+    def ground_truth(self) -> GroundTruthModel:
+        """Node-level timing model (for oracle/test use only)."""
+        return self._model
+
+    @property
+    def comm_model(self) -> CommModel:
+        """Inter-node communication model."""
+        return self._comm
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, app: WorkloadCharacteristics, config: ExecutionConfig
+    ) -> RunResult:
+        """Execute *app* under *config* and return the result.
+
+        Raises
+        ------
+        SchedulingError
+            If the configuration does not fit the cluster.
+        PowerDomainError
+            If a cap is below the hardware floor for the requested
+            concurrency (propagated from cap resolution).
+        """
+        cluster = self._cluster
+        node_spec = cluster.spec.node
+        if config.n_nodes > cluster.n_nodes:
+            raise SchedulingError(
+                f"{config.n_nodes} nodes requested, cluster has {cluster.n_nodes}"
+            )
+        if config.n_threads > node_spec.n_cores:
+            raise SchedulingError(
+                f"{config.n_threads} threads requested, node has {node_spec.n_cores} cores"
+            )
+
+        # Placement is identical on every node (homogeneous job launch).
+        topo = cluster.node(0).numa
+        if config.affinity is None:
+            placement = placement_for(
+                topo,
+                config.n_threads,
+                app.shared_fraction,
+                app.is_memory_intensive,
+            )
+        else:
+            placement = make_placement(
+                topo, config.n_threads, config.affinity, app.shared_fraction
+            )
+        phase_tps = {
+            name: tuple(
+                int(c)
+                for c in make_placement(
+                    topo, n, placement.kind, app.shared_fraction
+                ).threads_per_socket
+            )
+            for name, n in config.phase_threads.items()
+        }
+
+        iterations = config.iterations or app.iterations
+        # strong scaling divides the global problem over the nodes;
+        # weak scaling gives every node a full reference-size domain
+        work_fraction = (
+            1.0 / config.n_nodes if config.scaling == "strong" else 1.0
+        )
+
+        if config.node_ids is not None:
+            participants = [cluster.node(i) for i in config.node_ids]
+        else:
+            participants = list(cluster.nodes[: config.n_nodes])
+
+        records: list[NodeRunRecord] = []
+        rng = self._run_rng(app, config)
+        for rank, node in enumerate(participants):
+            records.append(
+                self._run_node(
+                    node, app, config, placement, phase_tps,
+                    work_fraction, iterations, rng, rank,
+                )
+            )
+
+        comm_s = self._comm.iteration_time(
+            app, config.n_nodes, scaling=config.scaling
+        )
+        t_step = max(r.t_iter_s for r in records) + comm_s
+        total_time = iterations * t_step
+
+        # Energy: each node is busy for its own iteration time and
+        # idles at the barrier for the remainder of every step.
+        energy = 0.0
+        peak = 0.0
+        final_records = []
+        for node, rec in zip(participants, records):
+            busy_frac = rec.t_iter_s / t_step if t_step > 0 else 1.0
+            idle_pkg = sum(
+                node.power_model.pkg_power(
+                    c, node_spec.socket.f_min, _IDLE_ACTIVITY
+                )
+                for c in placement.threads_per_socket
+            )
+            idle_dram = node_spec.n_sockets * node.power_model.dram_power(0.0)
+            avg_pkg = rec.operating_point.pkg_power_w * busy_frac + idle_pkg * (
+                1.0 - busy_frac
+            )
+            avg_dram = rec.operating_point.dram_power_w * busy_frac + idle_dram * (
+                1.0 - busy_frac
+            )
+            node_energy = (avg_pkg + avg_dram + node_spec.p_other_w) * total_time
+            energy += node_energy
+            peak += rec.operating_point.pkg_power_w + rec.operating_point.dram_power_w
+            node.rapl.accumulate(rec.operating_point, iterations * rec.t_iter_s)
+            node.meter.record(
+                PowerBreakdown(
+                    pkg_w=avg_pkg, dram_w=avg_dram, other_w=node_spec.p_other_w
+                ),
+                total_time,
+            )
+            final_records.append(
+                NodeRunRecord(
+                    node_id=rec.node_id,
+                    operating_point=rec.operating_point,
+                    t_iter_s=rec.t_iter_s,
+                    activity=rec.activity,
+                    busy_fraction=busy_frac,
+                    avg_pkg_w=avg_pkg,
+                    avg_dram_w=avg_dram,
+                    events=rec.events,
+                    phase_times=rec.phase_times,
+                )
+            )
+        peak += config.n_nodes * node_spec.p_other_w
+
+        return RunResult(
+            app_name=app.name,
+            n_nodes=config.n_nodes,
+            n_threads_per_node=config.n_threads,
+            affinity=placement.kind.value,
+            iterations=iterations,
+            t_step_s=t_step,
+            comm_s=comm_s,
+            total_time_s=total_time,
+            energy_j=energy,
+            avg_power_w=energy / total_time if total_time > 0 else 0.0,
+            peak_power_w=peak,
+            nodes=tuple(final_records),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_node(
+        self,
+        node,
+        app: WorkloadCharacteristics,
+        config: ExecutionConfig,
+        placement: Placement,
+        phase_tps: dict[str, tuple[int, ...]],
+        work_fraction: float,
+        iterations: int,
+        rng: np.random.Generator,
+        rank: int = 0,
+    ) -> NodeRunRecord:
+        """Fixed-point resolve one node's steady state."""
+        pkg_cap, dram_cap = config.caps_for(rank)
+        node.set_power_caps(pkg_cap, dram_cap)
+        mem = node.spec.socket.memory
+        tps = placement.threads_per_socket
+        activity = 0.9
+        demand = tuple(
+            mem.peak_bandwidth if c > 0 else 0.0 for c in tps
+        )
+        timing = None
+        prev_t = None
+        op = None
+        for _ in range(_MAX_ROUNDS):
+            op = node.rapl.resolve(
+                tps, activity, demand, config.frequency_hz
+            )
+            timing = self._model.iteration_time(
+                app,
+                tps,
+                op.effective_frequency_hz,
+                op.bandwidth_per_socket,
+                remote_fraction=placement.remote_fraction,
+                work_fraction=work_fraction,
+                phase_threads=phase_tps or None,
+            )
+            activity = _DAMPING * activity + (1 - _DAMPING) * timing.activity
+            demand = tuple(
+                _DAMPING * d + (1 - _DAMPING) * nd
+                for d, nd in zip(demand, timing.bw_demand_per_socket)
+            )
+            if prev_t is not None and abs(timing.t_iter_s - prev_t) <= _REL_TOL * prev_t:
+                break
+            prev_t = timing.t_iter_s
+
+        # Final consistency pass with converged activity/demand.
+        op = node.rapl.resolve(
+            tps, timing.activity, timing.bw_demand_per_socket, config.frequency_hz
+        )
+        events = synthesize_counters(
+            instructions=timing.instructions * iterations,
+            duration_s=timing.t_iter_s * iterations,
+            n_threads=placement.n_threads,
+            frequency_hz=op.effective_frequency_hz,
+            dram_bytes=timing.dram_bytes * iterations,
+            remote_fraction=placement.remote_fraction,
+            icache_mpki=app.icache_mpki,
+            rng=rng,
+        )
+        return NodeRunRecord(
+            node_id=node.node_id,
+            operating_point=op,
+            t_iter_s=timing.t_iter_s,
+            activity=timing.activity,
+            busy_fraction=1.0,
+            avg_pkg_w=op.pkg_power_w,
+            avg_dram_w=op.dram_power_w,
+            events=events,
+            phase_times=timing.phase_times,
+        )
+
+    def _run_rng(
+        self, app: WorkloadCharacteristics, config: ExecutionConfig
+    ) -> np.random.Generator:
+        """Deterministic per-(app, config) RNG for counter noise."""
+        name_hash = sum(ord(c) * (i + 1) for i, c in enumerate(app.name)) % (2**31)
+        return np.random.default_rng(
+            [self._seed, name_hash, config.n_nodes, config.n_threads]
+        )

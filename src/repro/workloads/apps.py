@@ -1,0 +1,279 @@
+"""Table-II application definitions.
+
+One :class:`~repro.workloads.characteristics.WorkloadCharacteristics`
+per benchmark configuration the paper evaluates (Table II), plus the
+extra codes its motivating figures use (NPB EP and SP, STREAM).
+
+Calibration notes
+-----------------
+Parameters are chosen so that, on the simulated Haswell node, each app
+*emerges* with the scalability class the paper measured (Fig. 6) — we
+set physical knobs (memory intensity, synchronization cost, serial
+fraction), not the class itself:
+
+* **linear** (CoMD, miniMD, AMG): low-to-moderate bytes/instruction
+  keeps the roofline compute-bound through 24 threads;
+* **logarithmic** (BT-MZ, LU-MZ, CloverLeaf ×2): bytes/instruction high
+  enough that node bandwidth saturates at an interior thread count —
+  the saturation knee is the inflection point NP;
+* **parabolic** (SP-MZ, miniAero, TeaLeaf): an appreciable per-thread
+  synchronization/zone-exchange cost makes performance peak and then
+  fall.
+
+BT-MZ carries an ``exch_qbc`` phase with limited useful concurrency,
+reproducing the stagnation the paper traces to that function (§V-B.1).
+
+Instruction volumes are scaled for iteration times of roughly 0.1–1 s
+on a full node, matching the order of magnitude of the real codes'
+per-step times on the testbed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.characteristics import (
+    CommPattern,
+    Phase,
+    WorkloadCharacteristics,
+)
+
+__all__ = ["TABLE2_APPS", "EXTRA_APPS", "all_apps", "get_app"]
+
+
+def _app(**kw) -> WorkloadCharacteristics:
+    return WorkloadCharacteristics(**kw)
+
+
+#: The ten benchmark configurations of Table II, in the paper's order.
+TABLE2_APPS: tuple[WorkloadCharacteristics, ...] = (
+    _app(
+        name="bt-mz.C",
+        description="Block Tri-diagonal solver (multi-zone)",
+        problem_size="C",
+        instructions_per_iter=1.1e11,
+        bytes_per_instruction=1.7,
+        serial_fraction=0.004,
+        sync_cost_s=4.0e-4,
+        ipc_fraction=0.48,
+        shared_fraction=0.25,
+        icache_mpki=5.0,
+        comm_pattern=CommPattern.HALO,
+        comm_bytes_per_iter=2.4e7,
+        iterations=200,
+        phases=(
+            Phase(name="solve", weight=0.85),
+            Phase(
+                name="exch_qbc",
+                weight=0.15,
+                bytes_per_instruction=2.4,
+                max_useful_threads=12,
+            ),
+        ),
+    ),
+    _app(
+        name="lu-mz.C",
+        description="Lower-Upper Gauss-Seidel solver (multi-zone)",
+        problem_size="C",
+        instructions_per_iter=9.0e10,
+        bytes_per_instruction=1.85,
+        serial_fraction=0.006,
+        sync_cost_s=5.0e-4,
+        ipc_fraction=0.45,
+        shared_fraction=0.3,
+        icache_mpki=4.0,
+        comm_pattern=CommPattern.HALO,
+        comm_bytes_per_iter=2.0e7,
+        iterations=250,
+    ),
+    _app(
+        name="sp-mz.C",
+        description="Scalar Penta-diagonal solver (multi-zone)",
+        problem_size="C",
+        instructions_per_iter=9.5e10,
+        bytes_per_instruction=2.6,
+        serial_fraction=0.004,
+        sync_cost_s=2.8e-2,
+        ipc_fraction=0.42,
+        shared_fraction=0.35,
+        icache_mpki=4.5,
+        comm_pattern=CommPattern.HALO,
+        comm_bytes_per_iter=2.6e7,
+        iterations=400,
+    ),
+    _app(
+        name="comd",
+        description="classical molecular dynamics",
+        problem_size="-n 240 240 240",
+        instructions_per_iter=6.5e10,
+        bytes_per_instruction=0.09,
+        serial_fraction=0.002,
+        sync_cost_s=1.5e-4,
+        ipc_fraction=0.6,
+        shared_fraction=0.15,
+        icache_mpki=0.8,
+        comm_pattern=CommPattern.HALO,
+        comm_bytes_per_iter=8.0e6,
+        iterations=100,
+    ),
+    _app(
+        name="amg",
+        description="algebraic multigrid solver",
+        problem_size="-n 300 300 300",
+        instructions_per_iter=8.0e10,
+        bytes_per_instruction=0.42,
+        serial_fraction=0.005,
+        sync_cost_s=2.5e-4,
+        ipc_fraction=0.5,
+        shared_fraction=0.3,
+        icache_mpki=2.0,
+        comm_pattern=CommPattern.ALLREDUCE,
+        comm_bytes_per_iter=6.0e6,
+        iterations=150,
+    ),
+    _app(
+        name="miniaero",
+        description="mini-app solving the compressible Navier-Stokes equations",
+        problem_size="default",
+        instructions_per_iter=7.0e10,
+        bytes_per_instruction=0.55,
+        serial_fraction=0.006,
+        sync_cost_s=6.0e-2,
+        ipc_fraction=0.5,
+        shared_fraction=0.3,
+        icache_mpki=2.5,
+        comm_pattern=CommPattern.HALO,
+        comm_bytes_per_iter=1.5e7,
+        iterations=300,
+    ),
+    _app(
+        name="minimd",
+        description="molecular-dynamics force computations",
+        problem_size="default",
+        instructions_per_iter=5.5e10,
+        bytes_per_instruction=0.06,
+        serial_fraction=0.001,
+        sync_cost_s=1.0e-4,
+        ipc_fraction=0.62,
+        shared_fraction=0.1,
+        icache_mpki=0.5,
+        comm_pattern=CommPattern.HALO,
+        comm_bytes_per_iter=6.0e6,
+        iterations=100,
+    ),
+    _app(
+        name="tealeaf",
+        description="linear heat-conduction equation solver",
+        problem_size="Tea10.in",
+        instructions_per_iter=8.5e10,
+        bytes_per_instruction=2.3,
+        serial_fraction=0.005,
+        sync_cost_s=2.2e-2,
+        ipc_fraction=0.38,
+        shared_fraction=0.4,
+        icache_mpki=1.5,
+        comm_pattern=CommPattern.HALO,
+        comm_bytes_per_iter=2.0e7,
+        iterations=300,
+    ),
+    _app(
+        name="cloverleaf.128",
+        description="compressible Euler equations on a Cartesian grid",
+        problem_size="clover128_short.in",
+        instructions_per_iter=1.0e11,
+        bytes_per_instruction=1.74,
+        serial_fraction=0.005,
+        sync_cost_s=4.5e-4,
+        ipc_fraction=0.44,
+        shared_fraction=0.3,
+        icache_mpki=1.8,
+        comm_pattern=CommPattern.HALO,
+        comm_bytes_per_iter=2.2e7,
+        iterations=200,
+    ),
+    _app(
+        name="cloverleaf.16",
+        description="compressible Euler equations, small input",
+        problem_size="clover16.in",
+        instructions_per_iter=2.2e10,
+        bytes_per_instruction=1.9,
+        serial_fraction=0.012,
+        sync_cost_s=3.5e-4,
+        ipc_fraction=0.44,
+        shared_fraction=0.3,
+        icache_mpki=1.8,
+        comm_pattern=CommPattern.HALO,
+        comm_bytes_per_iter=6.0e6,
+        iterations=150,
+    ),
+)
+
+#: Codes outside Table II used by the paper's motivating figures:
+#: EP and STREAM anchor the linear/memory extremes of Fig. 3, and
+#: single-zone NPB-SP is the subject of Figs. 1 and 3c.
+EXTRA_APPS: tuple[WorkloadCharacteristics, ...] = (
+    _app(
+        name="ep.C",
+        description="NPB Embarrassingly Parallel",
+        problem_size="C",
+        instructions_per_iter=5.0e10,
+        bytes_per_instruction=0.004,
+        serial_fraction=0.0005,
+        sync_cost_s=2.0e-5,
+        ipc_fraction=0.65,
+        shared_fraction=0.02,
+        icache_mpki=0.1,
+        comm_pattern=CommPattern.NONE,
+        comm_bytes_per_iter=0.0,
+        iterations=50,
+    ),
+    _app(
+        name="stream",
+        description="UVA STREAM memory-bandwidth kernels",
+        problem_size="N=2^27",
+        instructions_per_iter=8.0e9,
+        bytes_per_instruction=7.5,
+        serial_fraction=0.0,
+        sync_cost_s=1.0e-4,
+        ipc_fraction=0.7,
+        shared_fraction=0.05,
+        icache_mpki=0.05,
+        comm_pattern=CommPattern.NONE,
+        comm_bytes_per_iter=0.0,
+        iterations=50,
+    ),
+    _app(
+        name="sp.C",
+        description="NPB Scalar Penta-diagonal solver (single zone)",
+        problem_size="C",
+        instructions_per_iter=9.0e10,
+        bytes_per_instruction=2.6,
+        serial_fraction=0.004,
+        sync_cost_s=2.6e-2,
+        ipc_fraction=0.42,
+        shared_fraction=0.35,
+        icache_mpki=3.0,
+        comm_pattern=CommPattern.HALO,
+        comm_bytes_per_iter=2.5e7,
+        iterations=400,
+    ),
+)
+
+_BY_NAME = {a.name: a for a in TABLE2_APPS + EXTRA_APPS}
+
+
+def all_apps() -> tuple[WorkloadCharacteristics, ...]:
+    """Every predefined application (Table II first, extras after)."""
+    return TABLE2_APPS + EXTRA_APPS
+
+
+def get_app(name: str) -> WorkloadCharacteristics:
+    """Look up a predefined application by name.
+
+    Raises :class:`~repro.errors.WorkloadError` with the list of known
+    names when the lookup fails.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise WorkloadError(f"unknown app {name!r}; known: {known}") from None

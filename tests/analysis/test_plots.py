@@ -1,0 +1,88 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis.plots import render_bars, render_grouped_bars, render_series
+
+
+class TestBars:
+    def test_longest_bar_for_max(self):
+        out = render_bars(["a", "b"], [1.0, 2.0], width=10)
+        a_line, b_line = out.splitlines()
+        assert b_line.count("#") == 10
+        assert a_line.count("#") == 5
+
+    def test_title_first(self):
+        out = render_bars(["a"], [1.0], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_markers_drawn_and_legended(self):
+        out = render_bars(
+            ["x"], [1.0], width=20, markers={0.5: "threshold"}
+        )
+        assert "|" in out
+        assert "threshold" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert render_bars([], [], title="nothing") == "nothing"
+
+    def test_values_printed(self):
+        out = render_bars(["a"], [0.123456], fmt="{:.2f}")
+        assert "0.12" in out
+
+
+class TestGroupedBars:
+    def test_groups_and_methods_present(self):
+        out = render_grouped_bars(
+            ["app1", "app2"],
+            {"CLIP": [1.0, 2.0], "All-In": [0.5, 1.0]},
+        )
+        assert "app1:" in out and "app2:" in out
+        assert "CLIP" in out and "All-In" in out
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_grouped_bars(["g"], {"m": [1.0, 2.0]})
+
+    def test_scaling_shared_across_series(self):
+        out = render_grouped_bars(
+            ["g"], {"big": [2.0], "small": [1.0]}, width=10
+        )
+        lines = [l for l in out.splitlines() if "#" in l]
+        big = next(l for l in lines if "big" in l)
+        small = next(l for l in lines if "small" in l)
+        assert big.count("#") == 2 * small.count("#")
+
+
+class TestSeries:
+    def test_contains_glyphs_and_legend(self):
+        out = render_series(
+            [1, 2, 3], {"linear": [1, 2, 3], "flat": [2, 2, 2]}
+        )
+        assert "o=linear" in out
+        assert "x=flat" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_bounds_printed(self):
+        out = render_series([0, 10], {"y": [5.0, 15.0]})
+        assert "15.000" in out
+        assert "5.000" in out
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], {"y": [1.0]})
+
+    def test_empty(self):
+        assert render_series([], {}, title="t") == "t"
+
+    def test_monotone_series_slopes_up(self):
+        out = render_series([1, 2, 3, 4], {"up": [1, 2, 3, 4]}, height=4, width=8)
+        rows = [l for l in out.splitlines() if l.startswith(" " * 11 + "|")]
+        # the glyph in the top row must be to the right of the bottom row's
+        top_col = rows[0].index("o")
+        bottom_col = rows[-1].index("o")
+        assert top_col > bottom_col

@@ -1,0 +1,133 @@
+"""Tests for the comparison schedulers (§V-C)."""
+
+import pytest
+
+from repro.baselines import (
+    AllInScheduler,
+    CoordinatedScheduler,
+    LowerLimitScheduler,
+    OracleScheduler,
+)
+from repro.baselines.allin import ALLIN_MEM_W
+from repro.baselines.lowerlimit import NODE_FLOOR_W
+from repro.errors import InfeasibleBudgetError
+from repro.workloads.apps import get_app
+
+
+class TestAllIn:
+    def test_uses_all_nodes_all_cores(self, engine):
+        cfg = AllInScheduler(engine).plan(get_app("comd"), 1600.0)
+        assert cfg.n_nodes == 8
+        assert cfg.n_threads == 24
+
+    def test_fixed_memory_grant(self, engine):
+        cfg = AllInScheduler(engine).plan(get_app("stream"), 1600.0)
+        assert cfg.dram_cap_w == pytest.approx(ALLIN_MEM_W)
+        assert cfg.pkg_cap_w == pytest.approx(1600.0 / 8 - ALLIN_MEM_W)
+
+    def test_oblivious_to_application(self, engine):
+        sched = AllInScheduler(engine)
+        a = sched.plan(get_app("comd"), 1600.0)
+        b = sched.plan(get_app("stream"), 1600.0)
+        assert (a.pkg_cap_w, a.dram_cap_w, a.n_threads) == (
+            b.pkg_cap_w,
+            b.dram_cap_w,
+            b.n_threads,
+        )
+
+    def test_absurd_budget_raises(self, engine):
+        with pytest.raises(InfeasibleBudgetError):
+            AllInScheduler(engine).plan(get_app("comd"), 200.0)
+
+    def test_run_produces_result(self, engine):
+        r = AllInScheduler(engine).run(get_app("comd"), 1600.0, iterations=2)
+        assert r.n_nodes == 8
+        assert r.performance > 0
+
+
+class TestLowerLimit:
+    def test_sheds_nodes_below_floor(self, engine):
+        cfg = LowerLimitScheduler(engine).plan(get_app("comd"), 900.0)
+        assert cfg.n_nodes == 5  # floor(900 / 180)
+
+    def test_all_nodes_when_budget_allows(self, engine):
+        cfg = LowerLimitScheduler(engine).plan(get_app("comd"), 8 * 200.0)
+        assert cfg.n_nodes == 8
+
+    def test_budget_below_floor_raises(self, engine):
+        with pytest.raises(InfeasibleBudgetError):
+            LowerLimitScheduler(engine).plan(get_app("comd"), 150.0)
+
+    def test_custom_floor(self, engine):
+        cfg = LowerLimitScheduler(engine, node_floor_w=220.0).plan(
+            get_app("comd"), 900.0
+        )
+        assert cfg.n_nodes == 4
+
+    def test_floor_must_exceed_mem_grant(self, engine):
+        with pytest.raises(InfeasibleBudgetError):
+            LowerLimitScheduler(engine, node_floor_w=20.0)
+
+    def test_still_all_cores(self, engine):
+        cfg = LowerLimitScheduler(engine).plan(get_app("sp-mz.C"), 1100.0)
+        assert cfg.n_threads == 24
+
+
+class TestCoordinated:
+    def test_app_specific_floor(self, engine):
+        sched = CoordinatedScheduler(engine)
+        light = sched.plan(get_app("ep.C"), 900.0)
+        heavy = sched.plan(get_app("stream"), 900.0)
+        # different applications may keep different node counts
+        assert light.n_nodes >= 1 and heavy.n_nodes >= 1
+
+    def test_model_driven_split(self, engine):
+        sched = CoordinatedScheduler(engine)
+        mem_cfg = sched.plan(get_app("stream"), 1400.0)
+        cpu_cfg = sched.plan(get_app("ep.C"), 1400.0)
+        assert mem_cfg.dram_cap_w > cpu_cfg.dram_cap_w
+
+    def test_always_max_concurrency(self, engine):
+        sched = CoordinatedScheduler(engine)
+        for name in ("sp-mz.C", "tealeaf", "comd"):
+            assert sched.plan(get_app(name), 1400.0).n_threads == 24
+
+    def test_profiles_cached_in_kb(self, engine):
+        from repro.core.knowledge import KnowledgeDB
+
+        kb = KnowledgeDB()
+        sched = CoordinatedScheduler(engine, knowledge=kb)
+        sched.plan(get_app("comd"), 1400.0)
+        assert kb.has("comd", "-n 240 240 240")
+        sched.plan(get_app("comd"), 900.0)  # second plan reuses it
+        assert len(kb) == 1
+
+    def test_budget_respected(self, engine):
+        cfg = CoordinatedScheduler(engine).plan(get_app("bt-mz.C"), 1200.0)
+        assert cfg.n_nodes * (cfg.pkg_cap_w + cfg.dram_cap_w) <= 1200.0 * (1 + 1e-9)
+
+
+class TestOracle:
+    def test_finds_budget_respecting_config(self, engine):
+        oracle = OracleScheduler(engine, thread_step=6)
+        cfg = oracle.plan(get_app("sp-mz.C"), 1400.0)
+        r = engine.run(get_app("sp-mz.C"), cfg)
+        drawn = sum(
+            n.operating_point.pkg_power_w + n.operating_point.dram_power_w
+            for n in r.nodes
+        )
+        assert drawn <= 1400.0 * (1 + 1e-6)
+
+    def test_oracle_beats_or_matches_allin(self, engine):
+        app = get_app("sp-mz.C")
+        oracle = OracleScheduler(engine, thread_step=6).run(
+            app, 1400.0, iterations=2
+        )
+        allin = AllInScheduler(engine).run(app, 1400.0, iterations=2)
+        assert oracle.performance >= allin.performance * (1 - 1e-9)
+
+    def test_oracle_throttles_parabolic_apps(self, engine):
+        cfg = OracleScheduler(engine, thread_step=4).plan(
+            get_app("sp-mz.C"), 1800.0
+        )
+        assert cfg.n_threads < 24

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite.
+
+Heavyweight artifacts (the trained inflection predictor, profiled
+testbeds) are session-scoped: they are deterministic, and re-training
+the MLR corpus per test would dominate the suite's runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import build_trained_inflection
+from repro.core.profile import SmartProfiler
+from repro.hw.cluster import SimulatedCluster
+from repro.hw.specs import haswell_node, haswell_testbed
+from repro.sim.engine import ExecutionEngine
+
+
+@pytest.fixture(scope="session")
+def node_spec():
+    """The paper's dual-socket Haswell node."""
+    return haswell_node()
+
+
+@pytest.fixture(scope="session")
+def cluster_spec():
+    """The paper's 8-node testbed specification."""
+    return haswell_testbed()
+
+
+@pytest.fixture()
+def cluster():
+    """A fresh simulated testbed (mutable state per test)."""
+    return SimulatedCluster.testbed()
+
+
+@pytest.fixture()
+def engine(cluster):
+    """An execution engine on a fresh testbed."""
+    return ExecutionEngine(cluster, seed=42)
+
+
+@pytest.fixture()
+def profiler(engine):
+    """A smart profiler bound to the fresh engine."""
+    return SmartProfiler(engine)
+
+
+@pytest.fixture(scope="session")
+def trained_inflection():
+    """The MLR inflection predictor trained on the default corpus.
+
+    Session-scoped: training profiles ~60 applications.  The predictor
+    itself is immutable after fit, so sharing is safe.
+    """
+    engine = ExecutionEngine(SimulatedCluster.testbed(), seed=42)
+    return build_trained_inflection(engine)

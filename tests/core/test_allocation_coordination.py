@@ -1,0 +1,186 @@
+"""Tests for cluster-level allocation and variability coordination."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocation import ClusterAllocator
+from repro.core.coordination import (
+    VARIABILITY_THRESHOLD,
+    coordinate_power,
+    measure_node_factors,
+)
+from repro.core.perfmodel import PerformancePredictor
+from repro.core.powermodel import ClipPowerModel
+from repro.core.recommend import Recommender
+from repro.errors import InfeasibleBudgetError, SchedulingError
+from repro.workloads.apps import get_app
+
+
+@pytest.fixture()
+def recommender_for(profiler, engine, trained_inflection):
+    node = engine.cluster.spec.node
+
+    def build(name):
+        app = get_app(name)
+        profile = profiler.profile(app)
+        np_pred = None
+        if profile.scalability_class.is_nonlinear:
+            np_pred = trained_inflection.predict(profile)
+            profile = profiler.confirm(app, profile, np_pred)
+        predictor = PerformancePredictor(profile, np_pred)
+        power = ClipPowerModel(profile, node)
+        return Recommender(profile, predictor, power)
+
+    return build
+
+
+class TestCoordinatePower:
+    def test_homogeneous_stays_uniform(self):
+        budgets = coordinate_power(800.0, np.ones(4), lo_w=100.0, hi_w=300.0)
+        np.testing.assert_allclose(budgets, 200.0)
+
+    def test_below_threshold_stays_uniform(self):
+        factors = np.array([1.0, 1.02, 0.99, 1.01])
+        budgets = coordinate_power(800.0, factors, lo_w=100.0, hi_w=300.0)
+        np.testing.assert_allclose(budgets, 200.0)
+
+    def test_inefficient_node_gets_more(self):
+        factors = np.array([1.0, 1.2])
+        budgets = coordinate_power(400.0, factors, lo_w=100.0, hi_w=300.0)
+        assert budgets[1] > budgets[0]
+        assert budgets.sum() <= 400.0 * (1 + 1e-9)
+
+    def test_budgets_respect_range(self):
+        factors = np.array([0.8, 1.2, 1.0])
+        budgets = coordinate_power(450.0, factors, lo_w=120.0, hi_w=200.0)
+        assert np.all(budgets >= 120.0 - 1e-9)
+        assert np.all(budgets <= 200.0 + 1e-9)
+
+    def test_single_node_gets_clipped_budget(self):
+        budgets = coordinate_power(500.0, np.array([1.0]), lo_w=100.0, hi_w=280.0)
+        assert budgets[0] == pytest.approx(280.0)
+
+    def test_insufficient_budget_raises(self):
+        with pytest.raises(SchedulingError):
+            coordinate_power(150.0, np.ones(2), lo_w=100.0, hi_w=300.0)
+
+    def test_bad_range_raises(self):
+        with pytest.raises(SchedulingError):
+            coordinate_power(400.0, np.ones(2), lo_w=200.0, hi_w=100.0)
+
+    def test_empty_factors_raises(self):
+        with pytest.raises(SchedulingError):
+            coordinate_power(400.0, np.array([]), lo_w=100.0, hi_w=200.0)
+
+    @settings(max_examples=40)
+    @given(
+        n=st.integers(min_value=1, max_value=8),
+        spread=st.floats(min_value=0.0, max_value=0.15),
+        budget_per=st.floats(min_value=130.0, max_value=280.0),
+    )
+    def test_conservation_property(self, n, spread, budget_per):
+        rng = np.random.default_rng(0)
+        factors = 1.0 + spread * rng.standard_normal(n) * 0.3
+        factors = np.clip(factors, 0.8, 1.2)
+        total = budget_per * n
+        budgets = coordinate_power(total, factors, lo_w=120.0, hi_w=300.0)
+        assert budgets.sum() <= total * (1 + 1e-9)
+        assert np.all(budgets >= 120.0 - 1e-9)
+
+
+class TestMeasureNodeFactors:
+    def test_factors_track_ground_truth(self, engine):
+        measured = measure_node_factors(engine)
+        truth = engine.cluster.variability.factors
+        # measured watts/work differences must correlate with the
+        # hidden efficiency factors
+        corr = np.corrcoef(measured, truth)[0, 1]
+        assert corr > 0.95
+
+    def test_mean_normalized(self, engine):
+        measured = measure_node_factors(engine)
+        assert measured.mean() == pytest.approx(1.0)
+
+
+class TestClusterAllocator:
+    def _alloc(self, recommender, n_total=8, factors=None):
+        return ClusterAllocator(recommender, n_total, node_factors=factors)
+
+    def test_generous_budget_uses_all_nodes(self, recommender_for):
+        alloc = self._alloc(recommender_for("comd")).allocate(2400.0)
+        assert alloc.n_nodes == 8
+
+    def test_tight_budget_sheds_nodes(self, recommender_for):
+        rec = recommender_for("comd")
+        lo, _ = self._alloc(rec).acceptable_range()
+        budget = 3.5 * lo
+        alloc = self._alloc(rec).allocate(budget)
+        assert alloc.n_nodes <= 3
+
+    def test_budget_conserved(self, recommender_for):
+        alloc = self._alloc(recommender_for("bt-mz.C")).allocate(1300.0)
+        assert alloc.total_allocated_w <= 1300.0 * (1 + 1e-9)
+
+    def test_budgets_within_range(self, recommender_for):
+        alloc = self._alloc(recommender_for("bt-mz.C")).allocate(1300.0)
+        for b in alloc.node_budgets_w:
+            assert alloc.node_lo_w - 1e-9 <= b <= alloc.node_hi_w + 1e-9
+
+    def test_infeasible_budget_raises(self, recommender_for):
+        with pytest.raises(InfeasibleBudgetError):
+            self._alloc(recommender_for("comd")).allocate(20.0)
+
+    def test_predefined_counts_respected(self, recommender_for):
+        alloc = self._alloc(recommender_for("comd")).allocate(
+            2400.0, predefined=(1, 2, 4, 8)
+        )
+        assert alloc.n_nodes in (1, 2, 4, 8)
+
+    def test_predefined_infeasible_raises(self, recommender_for):
+        rec = recommender_for("comd")
+        lo, _ = self._alloc(rec).acceptable_range()
+        with pytest.raises(InfeasibleBudgetError):
+            self._alloc(rec).allocate(lo * 1.5, predefined=(4, 8))
+
+    def test_simple_mode_matches_algorithm1(self, recommender_for):
+        rec = recommender_for("comd")
+        allocator = self._alloc(rec)
+        lo, hi = allocator.acceptable_range()
+        # Pub > Ntotal * hi -> all nodes
+        alloc = allocator.allocate(8 * hi + 100, mode="simple")
+        assert alloc.n_nodes == 8
+        # otherwise floor(Pub / hi)
+        alloc = allocator.allocate(3.4 * hi, mode="simple")
+        assert alloc.n_nodes == 3
+
+    def test_unknown_mode_raises(self, recommender_for):
+        with pytest.raises(SchedulingError):
+            self._alloc(recommender_for("comd")).allocate(1000.0, mode="magic")
+
+    def test_variability_coordination_engages(self, recommender_for):
+        factors = np.array([1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.25])
+        rec = recommender_for("comd")
+        alloc = ClusterAllocator(rec, 8, node_factors=factors).allocate(1400.0)
+        budgets = np.array(alloc.node_budgets_w)
+        if alloc.n_nodes == 8:
+            assert budgets[7] > budgets[0]
+
+    def test_homogeneous_budgets_uniform(self, recommender_for):
+        alloc = self._alloc(recommender_for("comd")).allocate(1400.0)
+        budgets = np.array(alloc.node_budgets_w)
+        assert np.allclose(budgets, budgets[0], rtol=1e-6) or (
+            budgets.max() / budgets.min() - 1 <= VARIABILITY_THRESHOLD + 0.2
+        )
+
+    def test_more_budget_never_fewer_nodes(self, recommender_for):
+        rec = recommender_for("comd")
+        allocator = self._alloc(rec)
+        counts = [
+            allocator.allocate(b).n_nodes for b in (700.0, 1100.0, 1600.0, 2400.0)
+        ]
+        assert counts == sorted(counts)
+
+    def test_factors_length_validated(self, recommender_for):
+        with pytest.raises(SchedulingError):
+            ClusterAllocator(recommender_for("comd"), 8, node_factors=np.ones(4))

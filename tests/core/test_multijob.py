@@ -1,0 +1,105 @@
+"""Tests for multi-job node/power partitioning."""
+
+import pytest
+
+from repro.core.knowledge import KnowledgeDB
+from repro.core.multijob import MultiJobCoordinator
+from repro.core.scheduler import ClipScheduler
+from repro.errors import InfeasibleBudgetError, SchedulingError
+from repro.workloads.apps import get_app
+
+
+@pytest.fixture()
+def coordinator(engine, trained_inflection):
+    clip = ClipScheduler(
+        engine, inflection=trained_inflection, knowledge=KnowledgeDB()
+    )
+    return MultiJobCoordinator(clip)
+
+
+THREE_APPS = ("comd", "sp-mz.C", "stream")
+
+
+class TestPartition:
+    def test_nodes_disjoint_and_within_cluster(self, coordinator):
+        apps = [get_app(n) for n in THREE_APPS]
+        placements = coordinator.partition(apps, 1800.0)
+        used = [i for p in placements for i in p.node_ids]
+        assert len(used) == len(set(used))
+        assert all(0 <= i < 8 for i in used)
+
+    def test_budget_conserved(self, coordinator):
+        apps = [get_app(n) for n in THREE_APPS]
+        placements = coordinator.partition(apps, 1800.0)
+        assert sum(p.budget_w for p in placements) <= 1800.0 * (1 + 1e-9)
+
+    def test_every_job_feasible(self, coordinator):
+        apps = [get_app(n) for n in THREE_APPS]
+        for p in coordinator.partition(apps, 1800.0):
+            assert p.n_nodes >= 1
+            assert p.config.n_threads >= 2
+            assert p.budget_w > 0
+
+    def test_parabolic_job_throttled(self, coordinator):
+        apps = [get_app(n) for n in THREE_APPS]
+        placements = {p.app_name: p for p in coordinator.partition(apps, 1800.0)}
+        assert placements["sp-mz.C"].config.n_threads < 24
+
+    def test_more_budget_helps_every_job(self, coordinator):
+        apps = [get_app(n) for n in THREE_APPS]
+        small = {p.app_name: p for p in coordinator.partition(apps, 900.0)}
+        large = {p.app_name: p for p in coordinator.partition(apps, 2400.0)}
+        for name in THREE_APPS:
+            assert large[name].budget_w >= small[name].budget_w * 0.99
+
+    def test_single_job_degenerate_case(self, coordinator):
+        placements = coordinator.partition([get_app("comd")], 1800.0)
+        assert len(placements) == 1
+        assert placements[0].n_nodes >= 4  # linear app grabs nodes
+
+    def test_rejects_empty(self, coordinator):
+        with pytest.raises(SchedulingError):
+            coordinator.partition([], 1800.0)
+
+    def test_rejects_more_jobs_than_nodes(self, coordinator):
+        apps = [get_app("comd")] * 9
+        with pytest.raises(SchedulingError):
+            coordinator.partition(apps, 5000.0)
+
+    def test_rejects_starved_budget(self, coordinator):
+        apps = [get_app(n) for n in THREE_APPS]
+        with pytest.raises(InfeasibleBudgetError):
+            coordinator.partition(apps, 150.0)
+
+
+class TestRun:
+    def test_run_executes_all_jobs(self, coordinator):
+        apps = [get_app(n) for n in THREE_APPS]
+        results = coordinator.run(apps, 1800.0, iterations=3)
+        assert len(results) == 3
+        for placement, result in results:
+            assert result.performance > 0
+            assert result.n_nodes == placement.n_nodes
+            assert {r.node_id for r in result.nodes} == set(placement.node_ids)
+
+    def test_combined_power_within_budget(self, coordinator):
+        apps = [get_app(n) for n in THREE_APPS]
+        results = coordinator.run(apps, 1800.0, iterations=3)
+        drawn = sum(
+            rec.operating_point.pkg_power_w + rec.operating_point.dram_power_w
+            for _, result in results
+            for rec in result.nodes
+        )
+        assert drawn <= 1800.0 * (1 + 1e-6)
+
+    def test_fairness_no_job_starved(self, coordinator):
+        apps = [get_app(n) for n in THREE_APPS]
+        results = coordinator.run(apps, 2000.0, iterations=3)
+        # every job achieves a nontrivial fraction of its solo
+        # unbounded throughput
+        for placement, result in results:
+            solo = coordinator._engine.run(
+                get_app(placement.app_name),
+                placement.to_execution_config(iterations=3),
+            )
+            assert result.performance == pytest.approx(solo.performance, rel=1e-6)

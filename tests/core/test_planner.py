@@ -1,0 +1,79 @@
+"""Tests for the inverse budget planner."""
+
+import pytest
+
+from repro.core.knowledge import KnowledgeDB
+from repro.core.planner import BudgetPlanner
+from repro.core.scheduler import ClipScheduler
+from repro.errors import InfeasibleBudgetError, SchedulingError
+from repro.workloads.apps import get_app
+
+
+@pytest.fixture()
+def planner(engine, trained_inflection):
+    clip = ClipScheduler(
+        engine, inflection=trained_inflection, knowledge=KnowledgeDB()
+    )
+    return BudgetPlanner(clip)
+
+
+class TestPlan:
+    def test_prediction_meets_target(self, planner):
+        plan = planner.plan(get_app("comd"), target_perf=8.0)
+        assert plan.predicted_perf >= 8.0
+        assert plan.headroom >= 0.0
+        assert plan.budget_w > 0
+
+    def test_budget_is_minimal_to_tolerance(self, planner, engine):
+        app = get_app("comd")
+        plan = planner.plan(app, target_perf=8.0)
+        smaller = plan.budget_w - 3 * planner._tol
+        decision = planner._scheduler.schedule(app, smaller)
+        assert decision.predicted_perf < 8.0
+
+    def test_higher_target_costs_more(self, planner):
+        app = get_app("comd")
+        cheap = planner.plan(app, target_perf=5.0)
+        dear = planner.plan(app, target_perf=10.0)
+        assert dear.budget_w > cheap.budget_w
+
+    def test_unreachable_target_raises(self, planner):
+        with pytest.raises(InfeasibleBudgetError):
+            planner.plan(get_app("sp-mz.C"), target_perf=1e6)
+
+    def test_rejects_bad_target(self, planner):
+        with pytest.raises(SchedulingError):
+            planner.plan(get_app("comd"), target_perf=0.0)
+
+    def test_rejects_bad_tolerance(self, engine, trained_inflection):
+        clip = ClipScheduler(
+            engine, inflection=trained_inflection, knowledge=KnowledgeDB()
+        )
+        with pytest.raises(SchedulingError):
+            BudgetPlanner(clip, tolerance_w=0.0)
+
+    def test_max_useful_budget_scales_with_ceiling(self, planner, engine):
+        hi = planner.max_useful_budget_w(get_app("comd"))
+        assert hi > 1000.0
+        assert hi <= engine.cluster.p_max_w * 1.5
+
+
+class TestPlanValidated:
+    @pytest.mark.parametrize(
+        "name,target", [("comd", 8.0), ("sp-mz.C", 1.2), ("tealeaf", 1.5)]
+    )
+    def test_measured_performance_meets_target(self, planner, engine, name, target):
+        app = get_app(name)
+        plan = planner.plan_validated(app, target)
+        result = engine.run(app, plan.decision.to_execution_config(iterations=3))
+        assert result.performance >= target
+
+    def test_validated_costs_at_least_predicted(self, planner):
+        app = get_app("sp-mz.C")
+        optimistic = planner.plan(app, 1.2)
+        validated = planner.plan_validated(app, 1.2)
+        assert validated.budget_w >= optimistic.budget_w - planner._tol
+
+    def test_validated_unreachable_raises(self, planner):
+        with pytest.raises(InfeasibleBudgetError):
+            planner.plan_validated(get_app("tealeaf"), target_perf=1e5)

@@ -1,0 +1,178 @@
+"""Tests for CLIP's fitted power model and acceptable ranges."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.powermodel import ClipPowerModel
+from repro.errors import InfeasibleBudgetError, ProfilingError
+from repro.units import ghz
+from repro.workloads.apps import get_app
+
+
+@pytest.fixture()
+def model_for(profiler, engine):
+    node = engine.cluster.spec.node
+
+    def build(name):
+        return ClipPowerModel(profiler.profile(get_app(name)), node)
+
+    return build
+
+
+_COMD_MODEL = None
+
+
+def _cached_comd_model():
+    """Module-level model for hypothesis tests (fixtures are banned
+    inside @given because they would be reused across examples)."""
+    global _COMD_MODEL
+    if _COMD_MODEL is None:
+        from repro.core.profile import SmartProfiler
+        from repro.hw.cluster import SimulatedCluster
+        from repro.sim.engine import ExecutionEngine
+
+        engine = ExecutionEngine(SimulatedCluster.testbed(), seed=42)
+        profile = SmartProfiler(engine).profile(get_app("comd"))
+        _COMD_MODEL = ClipPowerModel(profile, engine.cluster.spec.node)
+    return _COMD_MODEL
+
+
+class TestFit:
+    def test_coefficients_physical(self, model_for):
+        for name in ("comd", "bt-mz.C", "stream", "ep.C"):
+            m = model_for(name)
+            assert m.p_base_w >= 0
+            assert m.p_core_w >= 0.05
+            assert m.mem_base_w >= 0
+            assert m.mem_w_per_bw >= 0
+
+    def test_fitted_base_near_truth(self, model_for, engine):
+        # ground truth: 2 x 16 W uncore; fits land in a sane band
+        m = model_for("comd")
+        assert 10.0 <= m.p_base_w <= 70.0
+
+    def test_cpu_power_monotone_in_threads_and_freq(self, model_for):
+        m = model_for("comd")
+        assert m.cpu_power(24, ghz(2.3)) > m.cpu_power(12, ghz(2.3))
+        assert m.cpu_power(12, ghz(2.3)) > m.cpu_power(12, ghz(1.2))
+
+    def test_cpu_power_rejects_negative_threads(self, model_for):
+        with pytest.raises(ProfilingError):
+            model_for("comd").cpu_power(-1, ghz(2.0))
+
+
+class TestBandwidthDemand:
+    def test_saturating_shape(self, model_for):
+        m = model_for("stream")
+        d2 = m.bandwidth_demand(2)
+        d12 = m.bandwidth_demand(12)
+        d24 = m.bandwidth_demand(24)
+        assert d2 < d12 <= d24 * (1 + 1e-9)
+
+    def test_interior_not_underestimated(self, model_for):
+        # the extraction model must not dip between samples: demand at
+        # 16 threads is at least the 12-thread measurement
+        m = model_for("bt-mz.C")
+        assert m.bandwidth_demand(16) >= m.bandwidth_demand(12)
+
+    def test_mem_power_follows_demand(self, model_for):
+        m = model_for("stream")
+        assert m.mem_power(24) >= m.mem_power(4)
+
+
+class TestMaxFreqUnder:
+    def test_generous_budget_gives_fmax(self, model_for, engine):
+        m = model_for("comd")
+        f = m.max_freq_under(500.0, 24)
+        assert f == pytest.approx(engine.cluster.spec.node.socket.f_max)
+
+    def test_starved_budget_none(self, model_for):
+        m = model_for("comd")
+        assert m.max_freq_under(20.0, 24) is None
+
+    def test_monotone_in_budget(self, model_for):
+        m = model_for("comd")
+        budgets = [105.0, 130.0, 170.0, 210.0]
+        freqs = [m.max_freq_under(b, 24) for b in budgets]
+        assert all(f is not None for f in freqs)
+        assert freqs == sorted(freqs)
+
+    def test_fewer_threads_higher_freq(self, model_for):
+        m = model_for("comd")
+        f24 = m.max_freq_under(140.0, 24)
+        f12 = m.max_freq_under(140.0, 12)
+        assert f12 >= f24
+
+    def test_rejects_zero_threads(self, model_for):
+        with pytest.raises(ProfilingError):
+            model_for("comd").max_freq_under(100.0, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(budget=st.floats(min_value=60.0, max_value=400.0))
+    def test_result_within_dvfs_range(self, budget):
+        m = _cached_comd_model()
+        f = m.max_freq_under(budget, 24)
+        socket = m._node.socket
+        if f is not None:
+            assert socket.f_min <= f <= socket.f_max
+
+
+class TestPowerRange:
+    def test_range_ordering(self, model_for):
+        for name in ("comd", "bt-mz.C", "tealeaf"):
+            rng = model_for(name).power_range(24)
+            assert rng.cpu_lo_w <= rng.cpu_hi_w
+            assert rng.mem_lo_w <= rng.mem_hi_w
+            assert rng.node_lo_w < rng.node_hi_w
+
+    def test_contains(self, model_for):
+        rng = model_for("comd").power_range(24)
+        mid = (rng.node_lo_w + rng.node_hi_w) / 2
+        assert rng.contains(mid)
+        assert not rng.contains(rng.node_lo_w - 1)
+        assert not rng.contains(rng.node_hi_w + 1)
+
+    def test_fewer_threads_lower_floor(self, model_for):
+        m = model_for("bt-mz.C")
+        assert m.power_range(8).node_lo_w < m.power_range(24).node_lo_w
+
+    def test_memory_intensive_app_keeps_mem_floor(self, model_for):
+        # a memory-bound app's DRAM power barely drops at low frequency
+        rng = model_for("stream").power_range(24)
+        assert rng.mem_lo_w > 0.6 * rng.mem_hi_w
+
+    def test_moderate_bandwidth_app_mem_floor_drops(self, model_for):
+        # amg moves real traffic that shrinks at low frequency; EP-style
+        # codes sit at the DRAM base power where lo ~= hi
+        rng = model_for("amg").power_range(24)
+        assert rng.mem_lo_w < 0.95 * rng.mem_hi_w
+        rng_ep = model_for("ep.C").power_range(24)
+        assert rng_ep.mem_lo_w <= rng_ep.mem_hi_w
+
+
+class TestBudgetSplit:
+    def test_split_sums_within_budget(self, model_for):
+        m = model_for("bt-mz.C")
+        pkg, dram = m.split_node_budget(200.0, 24)
+        assert pkg + dram <= 200.0 * (1 + 1e-9)
+        assert pkg > 0 and dram > 0
+
+    def test_memory_app_gets_more_dram(self, model_for):
+        _, dram_mem = model_for("stream").split_node_budget(180.0, 24)
+        _, dram_cpu = model_for("ep.C").split_node_budget(180.0, 24)
+        assert dram_mem > dram_cpu
+
+    def test_infeasible_budget_raises(self, model_for):
+        with pytest.raises(InfeasibleBudgetError):
+            model_for("comd").split_node_budget(30.0, 24)
+
+    def test_surplus_not_wasted_on_dram(self, model_for):
+        # a huge budget should not balloon the DRAM cap past its target
+        m = model_for("ep.C")
+        _, dram = m.split_node_budget(400.0, 24)
+        assert dram < 40.0
+
+    def test_cpu_clipped_at_ceiling(self, model_for):
+        m = model_for("ep.C")
+        pkg, _ = m.split_node_budget(500.0, 24)
+        assert pkg <= m.power_range(24).cpu_hi_w * (1 + 1e-9)

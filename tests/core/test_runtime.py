@@ -1,0 +1,154 @@
+"""Tests for the runtime power re-coordination extension (§VII)."""
+
+import pytest
+
+from repro.core.knowledge import KnowledgeDB
+from repro.core.runtime import PowerBoundedRuntime
+from repro.core.scheduler import ClipScheduler
+from repro.errors import InfeasibleBudgetError, SchedulingError
+from repro.workloads.apps import get_app
+
+
+@pytest.fixture()
+def runtime(engine, trained_inflection):
+    clip = ClipScheduler(
+        engine, inflection=trained_inflection, knowledge=KnowledgeDB()
+    )
+    return PowerBoundedRuntime(clip)
+
+
+class TestLaunch:
+    def test_launch_respects_decomposition(self, runtime):
+        job = runtime.launch(get_app("bt-mz.C"), 1400.0, n_nodes=4)
+        assert job.n_nodes == 4
+        assert job.node_ids == (0, 1, 2, 3)
+        assert len(job.per_node_caps) == 4
+        assert not job.done
+
+    def test_pinned_threads_kept(self, runtime):
+        job = runtime.launch(get_app("bt-mz.C"), 1400.0, n_nodes=4, n_threads=20)
+        assert job.n_threads == 20
+
+    def test_default_threads_by_class(self, runtime):
+        linear = runtime.launch(get_app("comd"), 1400.0, n_nodes=4)
+        assert linear.n_threads == 24
+        parabolic = runtime.launch(get_app("sp-mz.C"), 1400.0, n_nodes=4)
+        assert parabolic.n_threads < 24
+
+    def test_caps_respect_budget(self, runtime):
+        job = runtime.launch(get_app("comd"), 900.0, n_nodes=4)
+        total = sum(pkg + dram for pkg, dram in job.per_node_caps)
+        assert total <= 900.0 * (1 + 1e-9)
+
+    def test_rejects_bad_node_count(self, runtime):
+        with pytest.raises(SchedulingError):
+            runtime.launch(get_app("comd"), 1400.0, n_nodes=9)
+
+    def test_infeasible_budget_at_pinned_threads(self, runtime):
+        with pytest.raises(InfeasibleBudgetError):
+            runtime.launch(get_app("comd"), 200.0, n_nodes=8, n_threads=24)
+
+    def test_concurrency_fallback_when_allowed(self, runtime):
+        job = runtime.launch(
+            get_app("bt-mz.C"), 640.0, n_nodes=8, n_threads=24,
+            allow_concurrency_change=True,
+        )
+        assert job.n_threads < 24
+
+
+class TestSegments:
+    def test_advance_consumes_iterations(self, runtime):
+        app = get_app("comd")
+        job = runtime.launch(app, 1400.0, n_nodes=4)
+        rec = runtime.advance(job, 30)
+        assert rec.iterations == 30
+        assert job.remaining_iterations == app.iterations - 30
+        assert job.elapsed_s == pytest.approx(rec.time_s)
+
+    def test_last_segment_clipped(self, runtime):
+        app = get_app("comd")  # 100 iterations
+        job = runtime.launch(app, 1400.0, n_nodes=4)
+        runtime.advance(job, 90)
+        rec = runtime.advance(job, 90)
+        assert rec.iterations == 10
+        assert job.done
+
+    def test_advance_after_done_raises(self, runtime):
+        job = runtime.launch(get_app("comd"), 1400.0, n_nodes=4)
+        runtime.run_to_completion(job)
+        with pytest.raises(SchedulingError):
+            runtime.advance(job, 1)
+
+    def test_run_to_completion_aggregates(self, runtime):
+        app = get_app("comd")
+        job = runtime.run_to_completion(
+            runtime.launch(app, 1400.0, n_nodes=4), segment_iterations=30
+        )
+        assert job.done
+        assert sum(s.iterations for s in job.segments) == app.iterations
+        assert job.mean_performance > 0
+        assert job.energy_j > 0
+
+
+class TestBudgetChanges:
+    def test_lower_budget_slows_segments(self, runtime):
+        job = runtime.launch(get_app("comd"), 1600.0, n_nodes=8)
+        fast = runtime.advance(job, 20)
+        runtime.update_budget(job, 900.0)
+        slow = runtime.advance(job, 20)
+        assert slow.performance < fast.performance
+        assert slow.budget_w == 900.0
+
+    def test_raising_budget_restores(self, runtime):
+        job = runtime.launch(get_app("comd"), 900.0, n_nodes=8)
+        slow = runtime.advance(job, 20)
+        runtime.update_budget(job, 1800.0)
+        fast = runtime.advance(job, 20)
+        assert fast.performance > slow.performance
+
+    def test_budget_drop_below_floor_rejected_when_pinned(self, runtime):
+        job = runtime.launch(get_app("comd"), 1600.0, n_nodes=8, n_threads=24)
+        with pytest.raises(InfeasibleBudgetError):
+            runtime.update_budget(job, 400.0)
+
+    def test_budget_drop_throttles_when_allowed(self, runtime):
+        job = runtime.launch(
+            get_app("bt-mz.C"), 1600.0, n_nodes=8,
+            allow_concurrency_change=True,
+        )
+        t_before = job.n_threads
+        runtime.update_budget(job, 640.0)
+        assert job.n_threads <= t_before
+
+    def test_rejects_nonpositive_budget(self, runtime):
+        job = runtime.launch(get_app("comd"), 1400.0, n_nodes=4)
+        with pytest.raises(SchedulingError):
+            runtime.update_budget(job, 0.0)
+
+
+class TestDegradation:
+    def test_recalibration_compensates_degraded_node(
+        self, engine, trained_inflection
+    ):
+        clip = ClipScheduler(
+            engine, inflection=trained_inflection, knowledge=KnowledgeDB()
+        )
+        runtime = PowerBoundedRuntime(clip)
+        app = get_app("comd")
+
+        engine.cluster.degrade_node(2, 1.25)
+        # stale factors: uniform caps, degraded node paces the job
+        stale_job = runtime.launch(app, 1400.0, n_nodes=4)
+        runtime.advance(stale_job, 20)
+
+        runtime.recalibrate()
+        fresh_job = runtime.launch(app, 1400.0, n_nodes=4)
+        runtime.advance(fresh_job, 20)
+
+        # after recalibration the degraded node receives more power
+        caps_total = [p + d for p, d in fresh_job.per_node_caps]
+        assert caps_total[2] == max(caps_total)
+        assert (
+            fresh_job.segments[0].performance
+            >= stale_job.segments[0].performance
+        )

@@ -1,0 +1,146 @@
+"""Unit tests for the hardware specifications."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.hw.specs import (
+    ClusterSpec,
+    CoreSpec,
+    MemorySpec,
+    NodeSpec,
+    SocketSpec,
+    haswell_node,
+    haswell_testbed,
+)
+from repro.units import ghz
+
+
+class TestCoreSpec:
+    def test_defaults_valid(self):
+        core = CoreSpec()
+        assert core.ipc_peak == 4.0
+        assert core.p_dyn_w > 0
+
+    def test_rejects_nonpositive_ipc(self):
+        with pytest.raises(SpecError):
+            CoreSpec(ipc_peak=0.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(SpecError):
+            CoreSpec(p_leak_w=-1.0)
+
+    def test_rejects_implausible_exponent(self):
+        with pytest.raises(SpecError):
+            CoreSpec(dyn_exponent=5.0)
+        with pytest.raises(SpecError):
+            CoreSpec(dyn_exponent=0.5)
+
+
+class TestMemorySpec:
+    def test_p_max_is_base_plus_load(self):
+        mem = MemorySpec(p_base_w=4.0, p_load_max_w=14.0)
+        assert mem.p_max_w == pytest.approx(18.0)
+
+    def test_bandwidth_levels_monotone(self):
+        mem = MemorySpec()
+        bws = [mem.bandwidth_at_level(i) for i in range(mem.n_power_levels)]
+        assert bws == sorted(bws)
+        assert bws[-1] == pytest.approx(mem.peak_bandwidth)
+
+    def test_lowest_level_retains_floor(self):
+        mem = MemorySpec(n_power_levels=8)
+        assert mem.bandwidth_at_level(0) == pytest.approx(mem.peak_bandwidth / 8)
+
+    def test_rejects_bad_level(self):
+        mem = MemorySpec()
+        with pytest.raises(SpecError):
+            mem.bandwidth_at_level(-1)
+        with pytest.raises(SpecError):
+            mem.bandwidth_at_level(mem.n_power_levels)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SpecError):
+            MemorySpec(capacity_bytes=0)
+
+
+class TestSocketSpec:
+    def test_haswell_defaults(self):
+        s = SocketSpec()
+        assert s.n_cores == 12
+        assert s.f_nominal == pytest.approx(ghz(2.3))
+        assert s.f_min == pytest.approx(ghz(1.2))
+        assert s.f_max == pytest.approx(ghz(3.1))
+        assert s.tdp_w == pytest.approx(120.0)
+
+    def test_ladder_spans_range(self):
+        s = SocketSpec()
+        assert s.freq_ladder[0] == pytest.approx(s.f_min)
+        assert s.freq_ladder[-1] == pytest.approx(s.f_max)
+
+    def test_pkg_max_exceeds_tdp_with_turbo(self):
+        # all-core turbo is opportunistic: the uncapped ceiling is
+        # above TDP, and RAPL's default PL1 clips it
+        s = SocketSpec()
+        assert s.p_pkg_max_w > s.tdp_w
+
+    def test_pkg_min_active_below_tdp(self):
+        s = SocketSpec()
+        assert s.p_pkg_min_active_w < s.tdp_w
+
+    def test_rejects_bad_frequency_order(self):
+        with pytest.raises(SpecError):
+            SocketSpec(f_min=ghz(3.0), f_nominal=ghz(2.3), f_max=ghz(3.1))
+
+    def test_rejects_unsorted_ladder(self):
+        with pytest.raises(SpecError):
+            SocketSpec(freq_ladder=(ghz(2.3), ghz(1.2), ghz(3.1)))
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(SpecError):
+            SocketSpec(n_cores=0)
+
+
+class TestNodeSpec:
+    def test_paper_node_has_24_cores(self):
+        node = haswell_node()
+        assert node.n_sockets == 2
+        assert node.n_cores == 24
+
+    def test_power_ceilings_compose(self):
+        node = haswell_node()
+        assert node.p_node_max_w == pytest.approx(
+            node.p_cpu_max_w + node.p_mem_max_w + node.p_other_w
+        )
+
+    def test_aggregate_bandwidth(self):
+        node = haswell_node()
+        assert node.peak_bandwidth == pytest.approx(
+            2 * node.socket.memory.peak_bandwidth
+        )
+
+    def test_rejects_zero_sockets(self):
+        with pytest.raises(SpecError):
+            NodeSpec(n_sockets=0)
+
+
+class TestClusterSpec:
+    def test_paper_testbed_shape(self):
+        spec = haswell_testbed()
+        assert spec.n_nodes == 8
+        assert spec.total_cores == 192
+
+    def test_cluster_peak_power(self):
+        spec = haswell_testbed()
+        assert spec.p_cluster_max_w == pytest.approx(8 * spec.node.p_node_max_w)
+
+    def test_rejects_excess_variability(self):
+        with pytest.raises(SpecError):
+            ClusterSpec(variability_sigma=0.6)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(SpecError):
+            ClusterSpec(n_nodes=0)
+
+    def test_custom_node_count(self):
+        spec = haswell_testbed(n_nodes=4)
+        assert spec.n_nodes == 4

@@ -1,0 +1,160 @@
+"""Unit tests for variability, the power meter, and node/cluster glue."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpecError
+from repro.hw.cluster import SimulatedCluster
+from repro.hw.meter import PowerMeter
+from repro.hw.node import SimulatedNode
+from repro.hw.power import PowerBreakdown
+from repro.hw.rapl import Domain
+from repro.hw.specs import haswell_node, haswell_testbed
+from repro.hw.variability import VariabilityModel
+
+
+class TestVariability:
+    def test_deterministic_in_seed(self):
+        a = VariabilityModel(8, sigma=0.03, seed=5)
+        b = VariabilityModel(8, sigma=0.03, seed=5)
+        np.testing.assert_array_equal(a.factors, b.factors)
+
+    def test_different_seeds_differ(self):
+        a = VariabilityModel(8, sigma=0.03, seed=5)
+        b = VariabilityModel(8, sigma=0.03, seed=6)
+        assert not np.array_equal(a.factors, b.factors)
+
+    def test_zero_sigma_is_homogeneous(self):
+        m = VariabilityModel(8, sigma=0.0)
+        np.testing.assert_array_equal(m.factors, np.ones(8))
+        assert m.spread == pytest.approx(0.0)
+
+    def test_truncation(self):
+        m = VariabilityModel(1000, sigma=0.05, seed=1)
+        assert np.all(m.factors >= 1 - 3 * 0.05 - 1e-12)
+        assert np.all(m.factors <= 1 + 3 * 0.05 + 1e-12)
+
+    def test_slowdown_is_relative_to_best(self):
+        m = VariabilityModel(8, sigma=0.03, seed=2017)
+        s = m.slowdown_under_uniform_cap()
+        assert s.min() == pytest.approx(1.0)
+        assert s.max() == pytest.approx(1.0 + m.spread)
+
+    def test_factor_of_bounds(self):
+        m = VariabilityModel(4)
+        with pytest.raises(SpecError):
+            m.factor_of(4)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(SpecError):
+            VariabilityModel(0)
+        with pytest.raises(SpecError):
+            VariabilityModel(4, sigma=0.6)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers())
+    def test_spread_nonnegative(self, n, seed):
+        m = VariabilityModel(n, sigma=0.03, seed=seed % 2**31)
+        assert m.spread >= 0.0
+
+
+class TestPowerMeter:
+    def test_energy_integration(self):
+        meter = PowerMeter()
+        meter.record(PowerBreakdown(100.0, 20.0, 30.0), 2.0)
+        meter.record(PowerBreakdown(50.0, 10.0, 30.0), 1.0)
+        assert meter.elapsed_s == pytest.approx(3.0)
+        assert meter.energy_j == pytest.approx(150 * 2 + 90 * 1)
+
+    def test_average_power(self):
+        meter = PowerMeter()
+        meter.record(PowerBreakdown(100.0, 0.0, 0.0), 1.0)
+        meter.record(PowerBreakdown(200.0, 0.0, 0.0), 1.0)
+        assert meter.average_power_w() == pytest.approx(150.0)
+
+    def test_peak_power(self):
+        meter = PowerMeter()
+        meter.record(PowerBreakdown(100.0, 0.0, 0.0), 1.0)
+        meter.record(PowerBreakdown(200.0, 0.0, 0.0), 0.1)
+        assert meter.peak_power_w() == pytest.approx(200.0)
+
+    def test_samples_follow_intervals(self):
+        meter = PowerMeter(sample_period_s=0.5)
+        meter.record(PowerBreakdown(100.0, 0.0, 0.0), 1.0)
+        meter.record(PowerBreakdown(200.0, 0.0, 0.0), 1.0)
+        samples = meter.samples()
+        assert len(samples) == 4
+        assert samples[0].total_w == pytest.approx(100.0)
+        assert samples[-1].total_w == pytest.approx(200.0)
+
+    def test_empty_meter(self):
+        meter = PowerMeter()
+        assert meter.samples() == []
+        assert meter.average_power_w() == 0.0
+        assert meter.peak_power_w() == 0.0
+
+    def test_zero_duration_ignored(self):
+        meter = PowerMeter()
+        meter.record(PowerBreakdown(100.0, 0.0, 0.0), 0.0)
+        assert meter.elapsed_s == 0.0
+
+    def test_reset(self):
+        meter = PowerMeter()
+        meter.record(PowerBreakdown(100.0, 0.0, 0.0), 1.0)
+        meter.reset()
+        assert meter.elapsed_s == 0.0
+        assert meter.energy_j == 0.0
+
+
+class TestSimulatedNode:
+    def test_composition(self):
+        node = SimulatedNode(haswell_node(), node_id=3, efficiency=1.05)
+        assert node.node_id == 3
+        assert node.n_cores == 24
+        assert node.efficiency == pytest.approx(1.05)
+        assert "03" in node.name
+
+    def test_set_power_caps(self):
+        node = SimulatedNode(haswell_node())
+        node.set_power_caps(150.0, 25.0)
+        assert node.rapl.caps()[Domain.PKG] == pytest.approx(150.0)
+        assert node.rapl.caps()[Domain.DRAM] == pytest.approx(25.0)
+
+    def test_reset_clears_state(self):
+        node = SimulatedNode(haswell_node())
+        node.set_power_caps(150.0, 25.0)
+        node.dvfs(0).set_all(1.2e9)
+        node.reset()
+        assert all(v is None for v in node.rapl.caps().values())
+        assert node.dvfs(0).frequency_of(0) == pytest.approx(
+            node.spec.socket.f_nominal
+        )
+
+
+class TestSimulatedCluster:
+    def test_testbed_shape(self):
+        c = SimulatedCluster.testbed()
+        assert c.n_nodes == 8
+        assert len(c.nodes) == 8
+
+    def test_nodes_carry_variability(self):
+        c = SimulatedCluster.testbed()
+        effs = [n.efficiency for n in c.nodes]
+        np.testing.assert_allclose(effs, c.variability.factors)
+
+    def test_node_lookup_bounds(self):
+        c = SimulatedCluster.testbed()
+        with pytest.raises(SpecError):
+            c.node(8)
+
+    def test_reset_all(self):
+        c = SimulatedCluster.testbed()
+        c.node(0).set_power_caps(100.0, 20.0)
+        c.reset()
+        assert c.node(0).rapl.caps()[Domain.PKG] is None
+
+    def test_aggregates(self):
+        spec = haswell_testbed()
+        c = SimulatedCluster(spec)
+        assert c.p_max_w == pytest.approx(spec.p_cluster_max_w)
+        assert c.p_other_total_w == pytest.approx(8 * spec.node.p_other_w)

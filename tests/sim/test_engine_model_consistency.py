@@ -1,0 +1,162 @@
+"""Consistency between the execution engine and the analytic model.
+
+The engine is a fixed-point wrapper around the ground-truth model plus
+RAPL resolution; with generous caps the wrapper must reduce exactly to
+the model.  These tests pin that equivalence and a set of physical
+invariants the fixed point must never break.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.cluster import SimulatedCluster
+from repro.hw.numa import AffinityKind, NumaTopology
+from repro.sim.affinity import make_placement
+from repro.sim.engine import ExecutionConfig, ExecutionEngine
+from repro.workloads.apps import get_app
+from repro.workloads.model import GroundTruthModel
+
+
+@pytest.fixture()
+def setup():
+    cluster = SimulatedCluster.testbed(variability_sigma=0.0)
+    return ExecutionEngine(cluster, seed=0), GroundTruthModel(cluster.spec.node)
+
+
+class TestUncappedEquivalence:
+    @pytest.mark.parametrize("name", ["comd", "sp-mz.C", "stream"])
+    @pytest.mark.parametrize("n_threads", [6, 12, 24])
+    def test_engine_matches_model_when_uncapped(self, setup, name, n_threads):
+        engine, model = setup
+        app = get_app(name)
+        node = engine.cluster.spec.node
+        f_nom = node.socket.f_nominal
+        result = engine.run(
+            app,
+            ExecutionConfig(
+                n_nodes=1,
+                n_threads=n_threads,
+                affinity=AffinityKind.SCATTER,
+                frequency_hz=f_nom,
+                iterations=2,
+            ),
+        )
+        placement = make_placement(
+            NumaTopology(node), n_threads, AffinityKind.SCATTER,
+            app.shared_fraction,
+        )
+        full_bw = np.full(node.n_sockets, node.socket.memory.peak_bandwidth)
+        expected = model.iteration_time(
+            app,
+            placement.threads_per_socket,
+            f_nom,
+            full_bw,
+            remote_fraction=placement.remote_fraction,
+        )
+        assert result.nodes[0].t_iter_s == pytest.approx(
+            expected.t_iter_s, rel=1e-6
+        )
+
+    def test_work_fraction_matches_model(self, setup):
+        engine, model = setup
+        app = get_app("comd")
+        node = engine.cluster.spec.node
+        f_nom = node.socket.f_nominal
+        r4 = engine.run(
+            app,
+            ExecutionConfig(
+                n_nodes=4, n_threads=24, frequency_hz=f_nom, iterations=2
+            ),
+        )
+        placement = make_placement(
+            NumaTopology(node), 24, AffinityKind.SCATTER, app.shared_fraction
+        )
+        full_bw = np.full(node.n_sockets, node.socket.memory.peak_bandwidth)
+        expected = model.iteration_time(
+            app,
+            placement.threads_per_socket,
+            f_nom,
+            full_bw,
+            remote_fraction=placement.remote_fraction,
+            work_fraction=0.25,
+        )
+        assert r4.nodes[0].t_iter_s == pytest.approx(
+            expected.t_iter_s, rel=1e-6
+        )
+
+
+class TestPhysicalInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pkg=st.floats(min_value=70.0, max_value=250.0),
+        name=st.sampled_from(["comd", "bt-mz.C", "tealeaf"]),
+    )
+    def test_frequency_monotone_in_pkg_cap(self, pkg, name):
+        engine = ExecutionEngine(SimulatedCluster.testbed(), seed=0)
+        app = get_app(name)
+        lo = engine.run(
+            app,
+            ExecutionConfig(
+                n_nodes=1, n_threads=24, pkg_cap_w=pkg, dram_cap_w=30.0,
+                iterations=1,
+            ),
+        ).nodes[0].operating_point
+        hi = engine.run(
+            app,
+            ExecutionConfig(
+                n_nodes=1, n_threads=24, pkg_cap_w=pkg + 30.0, dram_cap_w=30.0,
+                iterations=1,
+            ),
+        ).nodes[0].operating_point
+        assert hi.effective_frequency_hz >= lo.effective_frequency_hz * (1 - 1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(dram=st.floats(min_value=10.0, max_value=36.0))
+    def test_memory_app_perf_monotone_in_dram_cap(self, dram):
+        engine = ExecutionEngine(SimulatedCluster.testbed(), seed=0)
+        app = get_app("stream")
+        lo = engine.run(
+            app,
+            ExecutionConfig(
+                n_nodes=1, n_threads=24, pkg_cap_w=200.0, dram_cap_w=dram,
+                iterations=1,
+            ),
+        ).performance
+        hi = engine.run(
+            app,
+            ExecutionConfig(
+                n_nodes=1, n_threads=24, pkg_cap_w=200.0, dram_cap_w=dram + 4.0,
+                iterations=1,
+            ),
+        ).performance
+        assert hi >= lo * (1 - 1e-9)
+
+    def test_activity_bounds(self, setup):
+        engine, _ = setup
+        for name in ("ep.C", "stream", "sp-mz.C"):
+            r = engine.run(
+                get_app(name),
+                ExecutionConfig(n_nodes=1, n_threads=24, iterations=1),
+            )
+            assert 0.05 <= r.nodes[0].activity <= 1.0
+
+    def test_power_higher_for_compute_bound(self, setup):
+        engine, _ = setup
+        f = engine.cluster.spec.node.socket.f_nominal
+        ep = engine.run(
+            get_app("ep.C"),
+            ExecutionConfig(
+                n_nodes=1, n_threads=24, frequency_hz=f, iterations=1
+            ),
+        ).nodes[0].operating_point
+        stream = engine.run(
+            get_app("stream"),
+            ExecutionConfig(
+                n_nodes=1, n_threads=24, frequency_hz=f, iterations=1
+            ),
+        ).nodes[0].operating_point
+        # compute-bound cores switch more: higher PKG power at equal f
+        assert ep.pkg_power_w > stream.pkg_power_w
+        # bandwidth-bound DRAM draws more than EP's idle memory
+        assert stream.dram_power_w > ep.dram_power_w

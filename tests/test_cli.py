@@ -1,0 +1,75 @@
+"""Tests for the ``clip-sched`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_schedule_args(self):
+        args = build_parser().parse_args(["schedule", "comd", "1400"])
+        assert args.command == "schedule"
+        assert args.app == "comd"
+        assert args.budget == pytest.approx(1400.0)
+        assert args.mode == "predictive"
+
+    def test_mode_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "comd", "1400", "--mode", "magic"])
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "7", "apps"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_apps_lists_table2(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bt-mz.C", "comd", "tealeaf", "stream"):
+            assert name in out
+
+    def test_classify(self, capsys):
+        assert main(["classify", "tealeaf"]) == 0
+        out = capsys.readouterr().out
+        assert "parabolic" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "stream"]) == 0
+        out = capsys.readouterr().out
+        assert "logarithmic" in out
+        assert "memory intensive" in out
+
+    def test_unknown_app_exits_nonzero(self, capsys):
+        assert main(["classify", "nope"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown app" in err
+
+    def test_schedule_emits_script(self, capsys):
+        assert main(["schedule", "comd", "1400"]) == 0
+        out = capsys.readouterr().out
+        assert "mpirun" in out
+        assert "predicted performance" in out
+
+    def test_run_executes(self, capsys):
+        assert main(["run", "comd", "1400"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes x" in out
+
+    def test_compare_subset(self, capsys):
+        assert main(["compare", "1400", "--apps", "comd", "sp-mz.C"]) == 0
+        out = capsys.readouterr().out
+        assert "CLIP" in out and "All-In" in out
+        assert "sp-mz.C" in out
+
+
+class TestReportCommand:
+    def test_report_from_empty_dir(self, tmp_path, capsys):
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction report" in out
+        assert "not yet regenerated" in out

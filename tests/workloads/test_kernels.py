@@ -1,0 +1,175 @@
+"""Unit tests for the real NumPy micro-kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.kernels import (
+    KernelMeasurement,
+    characteristics_from_measurement,
+    dgemm,
+    jacobi2d,
+    measure_kernel,
+    triad,
+)
+
+
+class TestTriad:
+    def test_computes_in_place(self):
+        a = np.zeros(100)
+        b = np.ones(100)
+        c = np.full(100, 2.0)
+        triad(a, b, c, scalar=3.0)
+        np.testing.assert_allclose(a, 7.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(WorkloadError):
+            triad(np.zeros(3), np.zeros(4), np.zeros(3))
+
+
+class TestDgemm:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((8, 5))
+        b = rng.random((5, 7))
+        np.testing.assert_allclose(dgemm(a, b), a @ b)
+
+    def test_rejects_nonconformable(self):
+        with pytest.raises(WorkloadError):
+            dgemm(np.zeros((3, 4)), np.zeros((3, 4)))
+
+
+class TestJacobi2d:
+    def test_preserves_boundary(self):
+        grid = np.zeros((8, 8))
+        grid[0, :] = 1.0
+        out = jacobi2d(grid, iterations=5)
+        np.testing.assert_allclose(out[0, :], 1.0)
+
+    def test_smooths_toward_mean(self):
+        rng = np.random.default_rng(1)
+        grid = rng.random((16, 16))
+        out = jacobi2d(grid, iterations=50)
+        assert out[1:-1, 1:-1].std() < grid[1:-1, 1:-1].std()
+
+    def test_rejects_small_grid(self):
+        with pytest.raises(WorkloadError):
+            jacobi2d(np.zeros((2, 2)))
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(WorkloadError):
+            jacobi2d(np.zeros((8, 8)), iterations=0)
+
+    def test_does_not_mutate_input(self):
+        grid = np.ones((8, 8))
+        grid[4, 4] = 5.0
+        snapshot = grid.copy()
+        jacobi2d(grid, iterations=3)
+        np.testing.assert_array_equal(grid, snapshot)
+
+
+class TestMeasurement:
+    def test_measure_triad(self):
+        n = 10_000
+        a, b, c = np.zeros(n), np.ones(n), np.ones(n)
+        m = measure_kernel("triad", triad, a, b, c)
+        assert m.elapsed_s > 0
+        assert m.flops == pytest.approx(2 * n)
+        assert m.bytes_moved == pytest.approx(3 * n * 8)
+        assert m.arithmetic_intensity < 1.0
+
+    def test_measure_dgemm(self):
+        a = np.ones((32, 32))
+        m = measure_kernel("dgemm", dgemm, a, a)
+        assert m.flops == pytest.approx(2 * 32**3)
+        assert m.arithmetic_intensity > 1.0
+
+    def test_measure_jacobi(self):
+        m = measure_kernel("jacobi", jacobi2d, np.zeros((32, 32)), iterations=2)
+        assert m.flops > 0
+        assert m.bytes_moved > 0
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(WorkloadError):
+            measure_kernel("x", triad, np.zeros(4), np.zeros(4), np.zeros(4), repeats=0)
+
+    def test_unknown_kernel_time_only(self):
+        m = measure_kernel("custom", lambda: None)
+        assert m.flops == 0.0
+
+
+class TestConversion:
+    def test_characteristics_from_triad(self):
+        m = KernelMeasurement("triad", 0.01, flops=2e6, bytes_moved=2.4e7)
+        chars = characteristics_from_measurement(m)
+        assert chars.name == "kernel.triad"
+        assert chars.is_memory_intensive
+
+    def test_characteristics_from_dgemm_compute_bound(self):
+        m = KernelMeasurement("dgemm", 0.01, flops=1e9, bytes_moved=1e7)
+        chars = characteristics_from_measurement(m)
+        assert not chars.is_memory_intensive
+
+    def test_rejects_unmeasured(self):
+        m = KernelMeasurement("x", 0.01, flops=0.0, bytes_moved=0.0)
+        with pytest.raises(WorkloadError):
+            characteristics_from_measurement(m)
+
+
+class TestCgSolve:
+    def _system(self, n=2000):
+        import scipy.sparse as sp
+
+        diag = np.full(n, 4.0)
+        off = np.full(n - 1, -1.0)
+        A = sp.diags([off, diag, off], [-1, 0, 1], format="csr")
+        return A, np.ones(n)
+
+    def test_converges_on_spd_system(self):
+        from repro.workloads.kernels import cg_solve
+
+        A, b = self._system()
+        x = cg_solve(A, b, iterations=60)
+        assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-8
+
+    def test_rejects_shape_mismatch(self):
+        from repro.workloads.kernels import cg_solve
+
+        A, _ = self._system(100)
+        with pytest.raises(WorkloadError):
+            cg_solve(A, np.ones(50))
+
+    def test_rejects_zero_iterations(self):
+        from repro.workloads.kernels import cg_solve
+
+        A, b = self._system(100)
+        with pytest.raises(WorkloadError):
+            cg_solve(A, b, iterations=0)
+
+    def test_measurement_memory_bound(self):
+        from repro.workloads.kernels import cg_solve
+
+        A, b = self._system()
+        m = measure_kernel("cg", cg_solve, A, b, iterations=10)
+        assert m.flops > 0
+        assert m.arithmetic_intensity < 1.0  # sparse matvec: bandwidth-bound
+
+
+class TestFft2d:
+    def test_roundtrip_identity(self):
+        from repro.workloads.kernels import fft2d
+
+        grid = np.random.default_rng(0).random((64, 64))
+        np.testing.assert_allclose(fft2d(grid), grid, atol=1e-12)
+
+    def test_rejects_1d(self):
+        from repro.workloads.kernels import fft2d
+
+        with pytest.raises(WorkloadError):
+            fft2d(np.ones(16))
+
+    def test_measurement_moderate_intensity(self):
+        from repro.workloads.kernels import fft2d
+
+        m = measure_kernel("fft", fft2d, np.ones((128, 128)))
+        assert 0.5 < m.arithmetic_intensity < 20.0

@@ -1,0 +1,219 @@
+"""Unit and property tests for the ground-truth performance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.hw.specs import haswell_node
+from repro.units import ghz
+from repro.workloads.characteristics import Phase, WorkloadCharacteristics
+from repro.workloads.model import (
+    GroundTruthModel,
+    scalability_curve,
+    true_inflection_point,
+    true_scalability_class,
+)
+
+NODE = haswell_node()
+MODEL = GroundTruthModel(NODE)
+FULL_BW = np.full(2, NODE.socket.memory.peak_bandwidth)
+
+
+def compute_app(**kw):
+    defaults = dict(
+        name="compute",
+        instructions_per_iter=5e10,
+        bytes_per_instruction=0.01,
+        serial_fraction=0.0,
+        sync_cost_s=0.0,
+        ipc_fraction=0.5,
+    )
+    defaults.update(kw)
+    return WorkloadCharacteristics(**defaults)
+
+
+def memory_app(**kw):
+    defaults = dict(
+        name="memory",
+        instructions_per_iter=1e10,
+        bytes_per_instruction=6.0,
+        serial_fraction=0.0,
+        sync_cost_s=0.0,
+        ipc_fraction=0.5,
+    )
+    defaults.update(kw)
+    return WorkloadCharacteristics(**defaults)
+
+
+class TestPhaseTime:
+    def test_compute_bound_scales_with_threads(self):
+        t12 = MODEL.phase_time(compute_app(), [6, 6], ghz(2.3), FULL_BW)
+        t24 = MODEL.phase_time(compute_app(), [12, 12], ghz(2.3), FULL_BW)
+        assert t24.t_iter_s == pytest.approx(t12.t_iter_s / 2, rel=1e-6)
+        assert t12.bound == "compute"
+
+    def test_compute_bound_scales_with_frequency(self):
+        lo = MODEL.phase_time(compute_app(), [12, 12], ghz(1.2), FULL_BW)
+        hi = MODEL.phase_time(compute_app(), [12, 12], ghz(2.4), FULL_BW)
+        assert lo.t_iter_s == pytest.approx(2 * hi.t_iter_s, rel=1e-6)
+
+    def test_memory_bound_frequency_insensitive_at_high_f(self):
+        # above nominal the uncore is at full speed: memory time flat
+        lo = MODEL.phase_time(memory_app(), [12, 12], ghz(2.3), FULL_BW)
+        hi = MODEL.phase_time(memory_app(), [12, 12], ghz(3.1), FULL_BW)
+        assert hi.bound == "memory"
+        assert hi.memory_s == pytest.approx(lo.memory_s, rel=1e-9)
+
+    def test_uncore_scaling_degrades_bandwidth_at_low_f(self):
+        nom = MODEL.phase_time(memory_app(), [12, 12], ghz(2.3), FULL_BW)
+        low = MODEL.phase_time(memory_app(), [12, 12], ghz(1.2), FULL_BW)
+        assert low.memory_s > nom.memory_s
+
+    def test_serial_fraction_adds_floor(self):
+        app = compute_app(serial_fraction=0.1)
+        t = MODEL.phase_time(app, [12, 12], ghz(2.3), FULL_BW)
+        assert t.serial_s > 0
+        assert t.t_iter_s > t.compute_s
+
+    def test_sync_cost_linear_in_threads(self):
+        app = compute_app(sync_cost_s=1e-3)
+        t8 = MODEL.phase_time(app, [4, 4], ghz(2.3), FULL_BW)
+        t16 = MODEL.phase_time(app, [8, 8], ghz(2.3), FULL_BW)
+        assert t8.sync_s == pytest.approx(7e-3)
+        assert t16.sync_s == pytest.approx(15e-3)
+
+    def test_odd_thread_penalty(self):
+        even = MODEL.phase_time(compute_app(), [4, 4], ghz(2.3), FULL_BW)
+        odd = MODEL.phase_time(compute_app(), [4, 3], ghz(2.3), FULL_BW)
+        # 7 threads do less work in parallel AND pay the odd penalty
+        per_thread_even = even.t_iter_s * 8
+        per_thread_odd = odd.t_iter_s * 7 / 1.015
+        assert per_thread_odd == pytest.approx(per_thread_even, rel=1e-6)
+
+    def test_remote_fraction_slows_memory(self):
+        local = MODEL.phase_time(memory_app(), [6, 6], ghz(2.3), FULL_BW, 0.0)
+        remote = MODEL.phase_time(memory_app(), [6, 6], ghz(2.3), FULL_BW, 0.5)
+        assert remote.memory_s > local.memory_s
+
+    def test_work_fraction_scales_volume(self):
+        full = MODEL.phase_time(compute_app(), [12, 12], ghz(2.3), FULL_BW)
+        half = MODEL.phase_time(
+            compute_app(), [12, 12], ghz(2.3), FULL_BW, work_fraction=0.5
+        )
+        assert half.instructions == pytest.approx(full.instructions / 2)
+        assert half.t_iter_s == pytest.approx(full.t_iter_s / 2, rel=1e-6)
+
+    def test_bw_limit_throttles_memory(self):
+        capped = np.full(2, 1e10)
+        t = MODEL.phase_time(memory_app(), [12, 12], ghz(2.3), capped)
+        free = MODEL.phase_time(memory_app(), [12, 12], ghz(2.3), FULL_BW)
+        assert t.memory_s > free.memory_s
+
+    def test_activity_low_when_memory_bound(self):
+        t = MODEL.phase_time(memory_app(), [12, 12], ghz(2.3), FULL_BW)
+        assert t.activity < 0.5
+
+    def test_activity_high_when_compute_bound(self):
+        t = MODEL.phase_time(compute_app(), [12, 12], ghz(2.3), FULL_BW)
+        assert t.activity > 0.9
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(WorkloadError):
+            MODEL.phase_time(compute_app(), [0, 0], ghz(2.3), FULL_BW)
+
+    def test_rejects_overfull_socket(self):
+        with pytest.raises(WorkloadError):
+            MODEL.phase_time(compute_app(), [13, 0], ghz(2.3), FULL_BW)
+
+    def test_rejects_bad_work_fraction(self):
+        with pytest.raises(WorkloadError):
+            MODEL.phase_time(
+                compute_app(), [6, 6], ghz(2.3), FULL_BW, work_fraction=0.0
+            )
+
+    @settings(max_examples=50)
+    @given(
+        n1=st.integers(min_value=0, max_value=12),
+        n2=st.integers(min_value=0, max_value=12),
+        bpi=st.floats(min_value=0.0, max_value=8.0),
+    )
+    def test_time_positive_and_consistent(self, n1, n2, bpi):
+        if n1 + n2 == 0:
+            return
+        app = compute_app(bytes_per_instruction=bpi)
+        t = MODEL.phase_time(app, [n1, n2], ghz(2.3), FULL_BW)
+        assert t.t_iter_s > 0
+        assert t.t_iter_s >= max(t.compute_s, t.memory_s)
+
+
+class TestPhases:
+    def test_phase_times_sum(self):
+        app = compute_app(
+            phases=(Phase("a", 0.5), Phase("b", 0.5)),
+        )
+        whole = MODEL.iteration_time(app, [12, 12], ghz(2.3), FULL_BW)
+        flat = MODEL.iteration_time(
+            compute_app(), [12, 12], ghz(2.3), FULL_BW
+        )
+        assert whole.t_iter_s == pytest.approx(flat.t_iter_s, rel=1e-9)
+
+    def test_max_useful_threads_caps_phase(self):
+        app = compute_app(
+            phases=(
+                Phase("solve", 0.5),
+                Phase("exchange", 0.5, max_useful_threads=4),
+            ),
+        )
+        t24 = MODEL.iteration_time(app, [12, 12], ghz(2.3), FULL_BW)
+        t4 = MODEL.iteration_time(app, [2, 2], ghz(2.3), FULL_BW)
+        # the exchange phase runs no faster with 24 threads than with 4
+        assert t24.t_iter_s > t4.t_iter_s / 6
+
+    def test_phase_thread_override(self):
+        app = compute_app(phases=(Phase("main", 1.0),))
+        base = MODEL.iteration_time(app, [12, 12], ghz(2.3), FULL_BW)
+        overridden = MODEL.iteration_time(
+            app, [12, 12], ghz(2.3), FULL_BW,
+            phase_threads={"main": (2, 2)},
+        )
+        assert overridden.t_iter_s > base.t_iter_s
+
+
+class TestCurveAnalysis:
+    def test_compute_app_is_linear(self):
+        assert true_scalability_class(compute_app(), NODE) == "linear"
+
+    def test_memory_app_is_logarithmic(self):
+        assert true_scalability_class(memory_app(), NODE) == "logarithmic"
+
+    def test_contended_app_is_parabolic(self):
+        app = memory_app(sync_cost_s=0.02)
+        assert true_scalability_class(app, NODE) == "parabolic"
+
+    def test_linear_np_is_full_cores(self):
+        assert true_inflection_point(compute_app(), NODE) == NODE.n_cores
+
+    def test_memory_np_interior(self):
+        np_ = true_inflection_point(memory_app(), NODE)
+        assert 2 <= np_ < NODE.n_cores
+        assert np_ % 2 == 0
+
+    def test_parabolic_np_at_peak(self):
+        app = memory_app(sync_cost_s=0.02)
+        np_ = true_inflection_point(app, NODE)
+        ns, perfs = scalability_curve(app, NODE)
+        peak_n = int(ns[int(np.argmax(perfs))])
+        assert abs(np_ - peak_n) <= 2
+
+    def test_curve_shape(self):
+        ns, perfs = scalability_curve(compute_app(), NODE)
+        assert len(ns) == NODE.n_cores
+        assert perfs[-1] > perfs[0]
+
+    def test_curve_custom_grid(self):
+        ns, perfs = scalability_curve(
+            compute_app(), NODE, n_threads=np.array([4, 8, 16])
+        )
+        assert list(ns) == [4, 8, 16]
+        assert len(perfs) == 3
