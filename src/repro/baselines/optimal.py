@@ -3,18 +3,34 @@
 The paper repeatedly compares CLIP against "the optimal solution"
 found "through an exhaustive search" (Figs. 7–9 discussion).  On the
 simulated testbed we can afford the real thing: sweep node counts,
-even thread counts, both affinities, and a grid of CPU/DRAM splits;
+thread counts, both affinities, and a grid of CPU/DRAM splits;
 execute each candidate with a short iteration count; keep the best
 *budget-respecting* result.
 
 This is also the upper bound the Conductor-style related work would
 approach at much higher search cost — CLIP's claim is getting close
 with 2–3 profiling runs.
+
+The search runs on the engine's batched evaluation path
+(:meth:`ExecutionEngine.evaluate_many`): all surviving candidates are
+scored as one ``(n_candidates, n_nodes)`` array program, and
+candidates whose *analytic power floor* already exceeds the budget are
+pruned before simulation.  The floor comes from the Eq. 4–9 power
+model: a node hosting ``n`` threads draws at least
+
+    ``(n_sockets * P_base_pkg + n * P_leak + n_sockets * P_base_dram) * eff``
+
+(zero dynamic power, zero delivered bandwidth), so when the floors of
+the participating nodes sum above the tolerated budget the candidate
+can never pass the budget filter — skipping it cannot change the
+search result.  Pass ``use_batch=False`` to fall back to the scalar
+:meth:`ExecutionEngine.run` path; both paths return identical plans.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
+from itertools import accumulate
 
 import numpy as np
 
@@ -33,9 +49,29 @@ SEARCH_ITERATIONS = 2
 #: steady-state capped power stays within this factor of the budget.
 BUDGET_TOLERANCE = 1.0 + 1e-6
 
+#: Extra relative slack applied to the pruning floor so float noise can
+#: never prune a candidate the budget filter would have accepted.
+_PRUNE_MARGIN = 1.0 + 1e-9
+
 
 class OracleScheduler(PowerBoundedScheduler):
-    """Exhaustive search over the configuration space."""
+    """Exhaustive search over the configuration space.
+
+    Parameters
+    ----------
+    dram_grid_w:
+        DRAM-cap grid.  Defaults to the exact hardware floor
+        (``n_sockets * P_base_dram``, the lowest cap the memory can
+        honor) plus five points up to the DRAM domain maximum.
+    thread_step:
+        Stride of the thread sweep.  One thread is always tried in
+        addition to the stepped range, so ``thread_step=2`` covers
+        ``1, 2, 4, ...`` instead of silently skipping serial execution.
+    use_batch:
+        Score candidates on the vectorized batch path (default).  The
+        scalar path is kept as an escape hatch and for equivalence
+        testing; both choose the same plan.
+    """
 
     name = "Optimal"
 
@@ -44,53 +80,113 @@ class OracleScheduler(PowerBoundedScheduler):
         engine: ExecutionEngine,
         dram_grid_w: tuple[float, ...] | None = None,
         thread_step: int = 2,
+        use_batch: bool = True,
     ):
         super().__init__(engine)
         node = engine.cluster.spec.node
         if dram_grid_w is None:
             lo = node.n_sockets * node.socket.memory.p_base_w
             hi = node.p_mem_max_w
-            dram_grid_w = tuple(np.linspace(lo + 2.0, hi, 5))
+            dram_grid_w = (lo,) + tuple(
+                float(w) for w in np.linspace(lo + 2.0, hi, 5)
+            )
         self._dram_grid = dram_grid_w
         self._thread_step = max(1, thread_step)
+        self._thread_grid = tuple(
+            sorted({1} | set(range(self._thread_step, node.n_cores + 1, self._thread_step)))
+        )
+        self._use_batch = use_batch
+        self._last_stats: dict[str, int] = {}
+
+    @property
+    def thread_grid(self) -> tuple[int, ...]:
+        """Thread counts the search sweeps."""
+        return self._thread_grid
+
+    @property
+    def dram_grid_w(self) -> tuple[float, ...]:
+        """DRAM caps the search sweeps."""
+        return tuple(self._dram_grid)
+
+    @property
+    def search_stats(self) -> dict[str, int]:
+        """Bookkeeping of the most recent :meth:`plan` call.
+
+        Keys: ``candidates`` (full enumeration size), ``pruned``
+        (skipped by the analytic floor), ``evaluated`` (simulated),
+        ``feasible`` (passed the budget filter).
+        """
+        return dict(self._last_stats)
 
     def plan(
         self, app: WorkloadCharacteristics, cluster_budget_w: float
     ) -> ExecutionConfig:
         """Exhaustively search and return the best budget-respecting config."""
         cluster = self.engine.cluster
-        n_cores = cluster.spec.node.n_cores
-        best_cfg: ExecutionConfig | None = None
-        best_perf = -np.inf
+        node = cluster.spec.node
+        # Eq. 4-9 floor: per-thread leakage on top of the package and
+        # DRAM base powers, scaled by each node's variability factor.
+        static_base = (
+            node.n_sockets * node.socket.p_base_w
+            + node.n_sockets * node.socket.memory.p_base_w
+        )
+        p_leak = node.socket.core.p_leak_w
+        eff_prefix = list(accumulate(n.efficiency for n in cluster.nodes))
+
+        candidates: list[ExecutionConfig] = []
+        total = 0
+        pruned = 0
         for n_nodes in range(1, cluster.n_nodes + 1):
             node_share = cluster_budget_w / n_nodes
             for dram in self._dram_grid:
                 pkg = node_share - dram
                 if pkg <= 0:
                     continue
-                for n_threads in range(
-                    self._thread_step, n_cores + 1, self._thread_step
-                ):
+                for n_threads in self._thread_grid:
+                    total += len(AffinityKind)
+                    floor = (static_base + n_threads * p_leak) * eff_prefix[
+                        n_nodes - 1
+                    ]
+                    if floor > cluster_budget_w * BUDGET_TOLERANCE * _PRUNE_MARGIN:
+                        pruned += len(AffinityKind)
+                        continue
                     for kind in AffinityKind:
-                        cfg = ExecutionConfig(
-                            n_nodes=n_nodes,
-                            n_threads=n_threads,
-                            affinity=kind,
-                            pkg_cap_w=pkg,
-                            dram_cap_w=dram,
-                            iterations=SEARCH_ITERATIONS,
+                        candidates.append(
+                            ExecutionConfig(
+                                n_nodes=n_nodes,
+                                n_threads=n_threads,
+                                affinity=kind,
+                                pkg_cap_w=pkg,
+                                dram_cap_w=dram,
+                                iterations=SEARCH_ITERATIONS,
+                            )
                         )
-                        result = self.engine.run(app, cfg)
-                        drawn = sum(
-                            r.operating_point.pkg_power_w
-                            + r.operating_point.dram_power_w
-                            for r in result.nodes
-                        )
-                        if drawn > cluster_budget_w * BUDGET_TOLERANCE:
-                            continue  # cap floor overshot the budget
-                        if result.performance > best_perf:
-                            best_perf = result.performance
-                            best_cfg = cfg
+
+        if self._use_batch:
+            results = self.engine.evaluate_many(app, candidates)
+        else:
+            results = [self.engine.run(app, cfg) for cfg in candidates]
+
+        best_cfg: ExecutionConfig | None = None
+        best_perf = -np.inf
+        feasible = 0
+        for cfg, result in zip(candidates, results):
+            drawn = sum(
+                r.operating_point.pkg_power_w + r.operating_point.dram_power_w
+                for r in result.nodes
+            )
+            if drawn > cluster_budget_w * BUDGET_TOLERANCE:
+                continue  # cap floor overshot the budget
+            feasible += 1
+            if result.performance > best_perf:
+                best_perf = result.performance
+                best_cfg = cfg
+        self._last_stats = {
+            "candidates": total,
+            "pruned": pruned,
+            "evaluated": len(candidates),
+            "feasible": feasible,
+        }
         if best_cfg is None:
             raise InfeasibleBudgetError(
                 f"oracle found no budget-respecting configuration at "

@@ -213,29 +213,31 @@ class SmartProfiler:
         higher than an all-core sample and the classification ratio
         would conflate frequency headroom with thread scalability.
         """
-        f_nom = self._engine.cluster.spec.node.socket.f_nominal
-        result = self._engine.run(
+        socket = self._engine.cluster.spec.node.socket
+        # Both frequency points of the sample go through the batched
+        # evaluation path as one candidate set: a single array program,
+        # memoized via the engine cache when one is attached.
+        result, low_result = self._engine.evaluate_many(
             app,
-            ExecutionConfig(
-                n_nodes=1,
-                n_threads=n_threads,
-                affinity=affinity,
-                iterations=self._iterations,
-                frequency_hz=f_nom,
-            ),
+            [
+                ExecutionConfig(
+                    n_nodes=1,
+                    n_threads=n_threads,
+                    affinity=affinity,
+                    iterations=self._iterations,
+                    frequency_hz=socket.f_nominal,
+                ),
+                ExecutionConfig(
+                    n_nodes=1,
+                    n_threads=n_threads,
+                    affinity=affinity,
+                    iterations=max(2, self._iterations // 2),
+                    frequency_hz=socket.f_min,
+                ),
+            ],
         )
         rec = result.nodes[0]
-        f_min = self._engine.cluster.spec.node.socket.f_min
-        low = self._engine.run(
-            app,
-            ExecutionConfig(
-                n_nodes=1,
-                n_threads=n_threads,
-                affinity=affinity,
-                iterations=max(2, self._iterations // 2),
-                frequency_hz=f_min,
-            ),
-        ).nodes[0]
+        low = low_result.nodes[0]
         return SampleRun(
             n_threads=n_threads,
             affinity=affinity,

@@ -13,6 +13,12 @@ CLIP's node level "selectively activates the CPU cores" and chooses
 
 :class:`Placement` carries the derived facts the performance model
 consumes: per-socket thread counts and the remote-access fraction.
+
+Placements are memoized: the engine rebuilds the identical placement
+for every candidate configuration and every phase override, and the
+result depends only on the topology *shape*, the thread count, the
+policy, and the shared fraction.  :class:`Placement` is frozen, so the
+cached instances are safe to share.
 """
 
 from __future__ import annotations
@@ -24,7 +30,38 @@ import numpy as np
 from repro.errors import AffinityError
 from repro.hw.numa import AffinityKind, NumaTopology
 
-__all__ = ["Placement", "make_placement", "placement_for"]
+__all__ = [
+    "Placement",
+    "make_placement",
+    "placement_for",
+    "placement_cache_info",
+    "placement_cache_clear",
+]
+
+#: Memoized placements keyed on (topology shape, n_threads, kind,
+#: shared_fraction).  Bounded defensively: property tests sweep random
+#: shared fractions and would otherwise grow the table without limit.
+_PLACEMENT_CACHE: dict[tuple, "Placement"] = {}
+_PLACEMENT_CACHE_MAX = 8192
+_cache_hits = 0
+_cache_misses = 0
+
+
+def placement_cache_info() -> dict[str, int]:
+    """Hit/miss counters and current size of the placement cache."""
+    return {
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+        "size": len(_PLACEMENT_CACHE),
+    }
+
+
+def placement_cache_clear() -> None:
+    """Empty the placement cache and reset its counters."""
+    global _cache_hits, _cache_misses
+    _PLACEMENT_CACHE.clear()
+    _cache_hits = 0
+    _cache_misses = 0
 
 
 @dataclass(frozen=True)
@@ -62,6 +99,19 @@ def make_placement(
         raise AffinityError(
             f"n_threads {n_threads} outside [1, {topo.n_cores}]"
         )
+    global _cache_hits, _cache_misses
+    key = (
+        topo.n_sockets,
+        topo.cores_per_socket,
+        int(n_threads),
+        kind,
+        float(shared_fraction),
+    )
+    cached = _PLACEMENT_CACHE.get(key)
+    if cached is not None:
+        _cache_hits += 1
+        return cached
+    _cache_misses += 1
     if kind is AffinityKind.COMPACT:
         cores = tuple(range(n_threads))
     elif kind is AffinityKind.SCATTER:
@@ -83,12 +133,16 @@ def make_placement(
         raise AffinityError(f"unknown affinity kind {kind!r}")
     tps = topo.threads_per_socket(cores)
     remote = topo.remote_access_fraction(cores, shared_fraction)
-    return Placement(
+    placement = Placement(
         kind=kind,
         cores=cores,
         threads_per_socket=tuple(int(c) for c in tps),
         remote_fraction=remote,
     )
+    if len(_PLACEMENT_CACHE) >= _PLACEMENT_CACHE_MAX:
+        _PLACEMENT_CACHE.clear()
+    _PLACEMENT_CACHE[key] = placement
+    return placement
 
 
 def placement_for(

@@ -105,13 +105,24 @@ class ExecutionConfig:
 
 
 class ExecutionEngine:
-    """Runs workloads on a :class:`SimulatedCluster`."""
+    """Runs workloads on a :class:`SimulatedCluster`.
 
-    def __init__(self, cluster: SimulatedCluster, seed: int = 42):
+    ``cache`` optionally attaches a :class:`~repro.sim.batch.RunCache`:
+    when set, :meth:`run`, :meth:`evaluate` and :meth:`evaluate_many`
+    memoize results on ``(app, config, seed, cluster spec, node
+    efficiencies)``.  A cache hit skips the run's hardware side effects
+    (RAPL energy accumulation, meter records), so attach a cache only
+    where repeated *evaluation* is the point — search, profiling,
+    benchmarks — not where per-run accounting matters.
+    """
+
+    def __init__(self, cluster: SimulatedCluster, seed: int = 42, cache=None):
         self._cluster = cluster
         self._model = GroundTruthModel(cluster.spec.node)
         self._comm = CommModel(cluster.spec)
         self._seed = seed
+        self._cache = cache
+        self._batch = None
 
     @property
     def cluster(self) -> SimulatedCluster:
@@ -128,6 +139,60 @@ class ExecutionEngine:
         """Inter-node communication model."""
         return self._comm
 
+    @property
+    def seed(self) -> int:
+        """Seed of the per-run counter-noise RNG."""
+        return self._seed
+
+    @property
+    def cache(self):
+        """Attached :class:`~repro.sim.batch.RunCache` (or ``None``)."""
+        return self._cache
+
+    @cache.setter
+    def cache(self, cache) -> None:
+        self._cache = cache
+
+    def cache_key(self, app: WorkloadCharacteristics, config: ExecutionConfig):
+        """Memoization key for one (app, config) run on this engine.
+
+        Includes the current per-node efficiency factors so cluster
+        mutations (``degrade_node``) invalidate stale entries.
+        """
+        from repro.sim.batch import config_cache_key
+
+        return (
+            app,
+            config_cache_key(config),
+            self._seed,
+            self._cluster.spec,
+            tuple(n.efficiency for n in self._cluster.nodes),
+        )
+
+    # ------------------------------------------------------------------
+
+    def evaluate_many(
+        self, app: WorkloadCharacteristics, configs: list[ExecutionConfig]
+    ) -> list[RunResult]:
+        """Score many configs at once on the vectorized batch path.
+
+        Returns one :class:`RunResult` per config, in order, identical
+        to what :meth:`run` would produce — but computed as a single
+        ``(n_candidates, n_nodes)`` array program and memoized through
+        :attr:`cache` when one is attached.  No hardware side effects.
+        """
+        if self._batch is None:
+            from repro.sim.batch import BatchEvaluator
+
+            self._batch = BatchEvaluator(self)
+        return self._batch.run_many(app, configs)
+
+    def evaluate(
+        self, app: WorkloadCharacteristics, config: ExecutionConfig
+    ) -> RunResult:
+        """Side-effect-free single-config evaluation (batch path)."""
+        return self.evaluate_many(app, [config])[0]
+
     # ------------------------------------------------------------------
 
     def run(
@@ -143,6 +208,11 @@ class ExecutionEngine:
             If a cap is below the hardware floor for the requested
             concurrency (propagated from cap resolution).
         """
+        if self._cache is not None:
+            key = self.cache_key(app, config)
+            hit = self._cache.get(key)
+            if hit is not None:
+                return hit
         cluster = self._cluster
         node_spec = cluster.spec.node
         if config.n_nodes > cluster.n_nodes:
@@ -250,7 +320,7 @@ class ExecutionEngine:
             )
         peak += config.n_nodes * node_spec.p_other_w
 
-        return RunResult(
+        result = RunResult(
             app_name=app.name,
             n_nodes=config.n_nodes,
             n_threads_per_node=config.n_threads,
@@ -264,6 +334,9 @@ class ExecutionEngine:
             peak_power_w=peak,
             nodes=tuple(final_records),
         )
+        if self._cache is not None:
+            self._cache.put(key, result)
+        return result
 
     # ------------------------------------------------------------------
 

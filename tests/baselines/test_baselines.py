@@ -131,3 +131,69 @@ class TestOracle:
             get_app("sp-mz.C"), 1800.0
         )
         assert cfg.n_threads < 24
+
+    def test_thread_grid_includes_serial_and_full_node(self, engine):
+        grid = OracleScheduler(engine).thread_grid
+        n_cores = engine.cluster.spec.node.n_cores
+        assert grid[0] == 1  # serial execution is swept, not skipped
+        assert grid[-1] == n_cores
+        assert grid == tuple(sorted(set(grid)))
+
+    def test_dram_grid_starts_at_hardware_floor(self, engine):
+        node = engine.cluster.spec.node
+        floor = node.n_sockets * node.socket.memory.p_base_w
+        grid = OracleScheduler(engine).dram_grid_w
+        assert grid[0] == pytest.approx(floor)
+        assert grid[-1] == pytest.approx(node.p_mem_max_w)
+
+    def test_batch_and_scalar_paths_agree(self, engine):
+        app = get_app("sp-mz.C")
+        batch = OracleScheduler(engine, thread_step=6, use_batch=True)
+        scalar = OracleScheduler(engine, thread_step=6, use_batch=False)
+        for budget in (900.0, 1400.0):
+            assert batch.plan(app, budget) == scalar.plan(app, budget)
+            assert batch.search_stats == scalar.search_stats
+
+    def test_search_stats_bookkeeping(self, engine):
+        oracle = OracleScheduler(engine, thread_step=6)
+        oracle.plan(get_app("comd"), 1200.0)
+        stats = oracle.search_stats
+        assert stats["candidates"] == stats["pruned"] + stats["evaluated"]
+        assert 0 < stats["feasible"] <= stats["evaluated"]
+
+    def test_pruning_is_sound(self, engine):
+        """Every pruned candidate really does overshoot the budget.
+
+        At a budget barely above one node's power floor the analytic
+        prune fires; executing a pruned-shape candidate must confirm it
+        could never have passed the budget filter.
+        """
+        from repro.baselines.optimal import BUDGET_TOLERANCE
+        from repro.sim.engine import ExecutionConfig
+
+        node = engine.cluster.spec.node
+        floor_1x1 = (
+            node.n_sockets * node.socket.p_base_w
+            + node.n_sockets * node.socket.memory.p_base_w
+            + node.socket.core.p_leak_w
+        )
+        budget = floor_1x1 * 1.5
+        oracle = OracleScheduler(engine, thread_step=6)
+        try:
+            oracle.plan(get_app("ep.C"), budget)
+        except InfeasibleBudgetError:
+            pass  # fine — stats are still recorded
+        stats = oracle.search_stats
+        assert stats["pruned"] > 0
+        # the largest pruned shape: all nodes, all cores
+        cfg = ExecutionConfig(
+            n_nodes=engine.cluster.n_nodes,
+            n_threads=node.n_cores,
+            iterations=2,
+        )
+        r = engine.run(get_app("ep.C"), cfg)
+        drawn = sum(
+            n.operating_point.pkg_power_w + n.operating_point.dram_power_w
+            for n in r.nodes
+        )
+        assert drawn > budget * BUDGET_TOLERANCE

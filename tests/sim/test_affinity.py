@@ -6,7 +6,13 @@ from hypothesis import given, strategies as st
 from repro.errors import AffinityError
 from repro.hw.numa import AffinityKind, NumaTopology
 from repro.hw.specs import haswell_node
-from repro.sim.affinity import best_placement, make_placement, placement_for
+from repro.sim.affinity import (
+    best_placement,
+    make_placement,
+    placement_cache_clear,
+    placement_cache_info,
+    placement_for,
+)
 
 TOPO = NumaTopology(haswell_node())
 
@@ -78,6 +84,45 @@ class TestValidationAndProperties:
     def test_scatter_uses_both_sockets(self, n):
         p = make_placement(TOPO, n, AffinityKind.SCATTER, 0.3)
         assert p.sockets_used == 2
+
+
+class TestPlacementCache:
+    def test_repeat_is_a_hit_and_shares_the_object(self):
+        placement_cache_clear()
+        first = make_placement(TOPO, 6, AffinityKind.SCATTER, 0.3)
+        info = placement_cache_info()
+        assert (info["hits"], info["misses"]) == (0, 1)
+        second = make_placement(TOPO, 6, AffinityKind.SCATTER, 0.3)
+        assert second is first  # frozen, safe to share
+        info = placement_cache_info()
+        assert (info["hits"], info["misses"]) == (1, 1)
+
+    def test_key_discriminates_all_inputs(self):
+        placement_cache_clear()
+        make_placement(TOPO, 6, AffinityKind.SCATTER, 0.3)
+        make_placement(TOPO, 7, AffinityKind.SCATTER, 0.3)
+        make_placement(TOPO, 6, AffinityKind.COMPACT, 0.3)
+        make_placement(TOPO, 6, AffinityKind.SCATTER, 0.4)
+        info = placement_cache_info()
+        assert info["misses"] == 4 and info["size"] == 4
+
+    def test_placement_for_uses_the_cache(self):
+        placement_cache_clear()
+        direct = make_placement(TOPO, 4, AffinityKind.SCATTER, 0.3)
+        via_rule = placement_for(TOPO, 4, 0.3, memory_intensive=True)
+        assert via_rule is direct
+
+    def test_clear_resets(self):
+        make_placement(TOPO, 6, AffinityKind.SCATTER, 0.3)
+        placement_cache_clear()
+        info = placement_cache_info()
+        assert info == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_validation_still_precedes_cache(self):
+        placement_cache_clear()
+        with pytest.raises(AffinityError):
+            make_placement(TOPO, 0, AffinityKind.COMPACT, 0.3)
+        assert placement_cache_info()["size"] == 0
 
 
 class TestPolicyRules:

@@ -1,0 +1,271 @@
+"""Batched evaluation: exact equivalence with the scalar path + memoization.
+
+The batch evaluator's contract is *bit-exact* agreement with
+``ExecutionEngine.run`` — every ``RunResult`` field, including the
+synthesized PMU counters, must match the scalar path exactly (the
+ISSUE's 1e-9 tolerance is the ceiling; the implementation achieves
+equality).  The cache tests pin the memoization semantics: keys cover
+the application, the full configuration, the engine seed, and the
+current per-node efficiency factors, so fault injection and reseeding
+invalidate naturally.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.hw.cluster import SimulatedCluster
+from repro.hw.numa import AffinityKind
+from repro.sim.batch import BatchEvaluator, RunCache, config_cache_key
+from repro.sim.engine import ExecutionConfig, ExecutionEngine
+from repro.workloads.apps import get_app
+
+
+def assert_identical(batch, scalar):
+    """Field-by-field exact comparison with a readable failure message."""
+    assert batch.app_name == scalar.app_name
+    assert batch.n_nodes == scalar.n_nodes
+    assert len(batch.nodes) == len(scalar.nodes)
+    for b, s in zip(batch.nodes, scalar.nodes):
+        for field in dataclasses.fields(s):
+            bv = getattr(b, field.name)
+            sv = getattr(s, field.name)
+            assert bv == sv, (
+                f"node {s.node_id}: {field.name} differs: {bv!r} != {sv!r}"
+            )
+    for field in dataclasses.fields(scalar):
+        bv = getattr(batch, field.name)
+        sv = getattr(scalar, field.name)
+        assert bv == sv, f"{field.name} differs: {bv!r} != {sv!r}"
+
+
+EQUIVALENCE_CASES = [
+    # (app, config) — one per distinct code path in the array program.
+    ("sp-mz.C", ExecutionConfig(n_nodes=4, n_threads=12, iterations=3)),
+    (
+        "stream",
+        ExecutionConfig(
+            n_nodes=2,
+            n_threads=24,
+            affinity=AffinityKind.SCATTER,
+            pkg_cap_w=100.0,
+            dram_cap_w=30.0,
+            iterations=2,
+        ),
+    ),
+    (
+        "ep.C",  # tight PKG cap: duty-cycle fallback path
+        ExecutionConfig(
+            n_nodes=1, n_threads=24, pkg_cap_w=45.0, iterations=2
+        ),
+    ),
+    (
+        "comd",  # tight DRAM cap: bandwidth throttling path
+        ExecutionConfig(
+            n_nodes=3, n_threads=8, dram_cap_w=22.5, iterations=2
+        ),
+    ),
+    (
+        "bt-mz.C",  # multi-phase app with a per-phase thread override
+        ExecutionConfig(
+            n_nodes=4,
+            n_threads=16,
+            iterations=2,
+            phase_threads={"solve": 8},
+        ),
+    ),
+    (
+        "tealeaf",  # pinned frequency + compact packing
+        ExecutionConfig(
+            n_nodes=2,
+            n_threads=6,
+            affinity=AffinityKind.COMPACT,
+            frequency_hz=1.2e9,
+            iterations=2,
+        ),
+    ),
+    (
+        "sp-mz.C",  # weak scaling
+        ExecutionConfig(
+            n_nodes=8, n_threads=12, scaling="weak", iterations=2
+        ),
+    ),
+    (
+        "amg",  # heterogeneous per-node caps + explicit node choice
+        ExecutionConfig(
+            n_nodes=2,
+            n_threads=12,
+            per_node_caps=((110.0, 32.0), (90.0, 28.0)),
+            node_ids=(5, 2),
+            iterations=2,
+        ),
+    ),
+    ("ep.C", ExecutionConfig(n_nodes=1, n_threads=1, iterations=2)),
+]
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize(
+        "app_name,config",
+        EQUIVALENCE_CASES,
+        ids=[f"{a}-{i}" for i, (a, _) in enumerate(EQUIVALENCE_CASES)],
+    )
+    def test_batch_matches_scalar(self, engine, app_name, config):
+        app = get_app(app_name)
+        scalar = engine.run(app, config)
+        (batch,) = engine.evaluate_many(app, [config])
+        assert_identical(batch, scalar)
+
+    def test_full_candidate_set_in_one_call(self, engine):
+        """Many heterogeneous configs in one array program all match."""
+        app = get_app("sp-mz.C")
+        configs = [cfg for _, cfg in EQUIVALENCE_CASES]
+        batch = engine.evaluate_many(app, configs)
+        for cfg, b in zip(configs, batch):
+            assert_identical(b, engine.run(app, cfg))
+
+    def test_evaluate_single(self, engine):
+        app = get_app("comd")
+        cfg = ExecutionConfig(n_nodes=2, n_threads=8, iterations=2)
+        assert_identical(engine.evaluate(app, cfg), engine.run(app, cfg))
+
+    def test_order_independence(self, engine):
+        """Results depend only on the config, not its batch position."""
+        app = get_app("stream")
+        configs = [
+            ExecutionConfig(n_nodes=n, n_threads=12, iterations=2)
+            for n in (1, 2, 4, 8)
+        ]
+        forward = engine.evaluate_many(app, configs)
+        backward = engine.evaluate_many(app, configs[::-1])
+        for f, b in zip(forward, backward[::-1]):
+            assert_identical(f, b)
+
+    def test_degraded_cluster_matches(self):
+        """Node-variability factors flow through the batch path too."""
+        cluster = SimulatedCluster.testbed()
+        cluster.degrade_node(3, 1.08)
+        engine = ExecutionEngine(cluster, seed=42)
+        app = get_app("sp-mz.C")
+        cfg = ExecutionConfig(n_nodes=8, n_threads=12, iterations=2)
+        assert_identical(engine.evaluate(app, cfg), engine.run(app, cfg))
+
+
+class TestConfigCacheKey:
+    def test_equal_configs_equal_keys(self):
+        a = ExecutionConfig(n_nodes=2, n_threads=8, phase_threads={"x": 4})
+        b = ExecutionConfig(n_nodes=2, n_threads=8, phase_threads={"x": 4})
+        assert config_cache_key(a) == config_cache_key(b)
+
+    def test_distinct_configs_distinct_keys(self):
+        base = ExecutionConfig(n_nodes=2, n_threads=8)
+        for other in (
+            ExecutionConfig(n_nodes=3, n_threads=8),
+            ExecutionConfig(n_nodes=2, n_threads=8, pkg_cap_w=90.0),
+            ExecutionConfig(n_nodes=2, n_threads=8, scaling="weak"),
+            ExecutionConfig(n_nodes=2, n_threads=8, phase_threads={"x": 4}),
+        ):
+            assert config_cache_key(base) != config_cache_key(other)
+
+    def test_key_is_hashable(self):
+        cfg = ExecutionConfig(n_nodes=2, n_threads=8, phase_threads={"x": 4})
+        hash(config_cache_key(cfg))
+
+
+class TestRunCache:
+    def test_run_hits_after_miss(self, cluster):
+        cache = RunCache()
+        engine = ExecutionEngine(cluster, seed=42, cache=cache)
+        app = get_app("comd")
+        cfg = ExecutionConfig(n_nodes=2, n_threads=8, iterations=2)
+        first = engine.run(app, cfg)
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = engine.run(app, cfg)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert second is first  # the memoized object itself
+
+    def test_cached_equals_uncached_across_apps(self, cluster):
+        cached_engine = ExecutionEngine(
+            SimulatedCluster.testbed(), seed=42, cache=RunCache()
+        )
+        plain_engine = ExecutionEngine(cluster, seed=42)
+        for name in ("sp-mz.C", "stream"):
+            app = get_app(name)
+            for cfg in (
+                ExecutionConfig(n_nodes=2, n_threads=8, iterations=2),
+                ExecutionConfig(
+                    n_nodes=4, n_threads=12, dram_cap_w=30.0, iterations=2
+                ),
+            ):
+                cached_engine.run(app, cfg)  # prime
+                assert_identical(
+                    cached_engine.run(app, cfg), plain_engine.run(app, cfg)
+                )
+
+    def test_batch_and_scalar_share_entries(self, cluster):
+        cache = RunCache()
+        engine = ExecutionEngine(cluster, seed=42, cache=cache)
+        app = get_app("ep.C")
+        cfg = ExecutionConfig(n_nodes=1, n_threads=12, iterations=2)
+        scalar = engine.run(app, cfg)
+        (batch,) = engine.evaluate_many(app, [cfg])
+        assert batch is scalar  # evaluate_many served from run()'s entry
+        assert cache.hits == 1
+
+    def test_seed_invalidates(self):
+        cache = RunCache()
+        app = get_app("comd")
+        cfg = ExecutionConfig(n_nodes=2, n_threads=8, iterations=2)
+        a = ExecutionEngine(SimulatedCluster.testbed(), seed=42, cache=cache)
+        b = ExecutionEngine(SimulatedCluster.testbed(), seed=43, cache=cache)
+        a.run(app, cfg)
+        b.run(app, cfg)
+        assert cache.misses == 2 and cache.hits == 0
+        assert len(cache) == 2
+
+    def test_degrade_invalidates(self, cluster):
+        cache = RunCache()
+        engine = ExecutionEngine(cluster, seed=42, cache=cache)
+        app = get_app("comd")
+        cfg = ExecutionConfig(n_nodes=2, n_threads=8, iterations=2)
+        before = engine.run(app, cfg)
+        cluster.degrade_node(0, 1.10)
+        after = engine.run(app, cfg)
+        assert cache.misses == 2 and cache.hits == 0
+        assert after.energy_j != before.energy_j
+
+    def test_stats_and_clear(self, cluster):
+        cache = RunCache()
+        engine = ExecutionEngine(cluster, seed=42, cache=cache)
+        app = get_app("stream")
+        cfg = ExecutionConfig(n_nodes=1, n_threads=8, iterations=2)
+        engine.run(app, cfg)
+        engine.run(app, cfg)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hit_rate"] == 0.0
+
+    def test_bounded_eviction(self, cluster):
+        cache = RunCache(max_entries=2)
+        engine = ExecutionEngine(cluster, seed=42, cache=cache)
+        app = get_app("ep.C")
+        for n in (1, 2, 3):
+            engine.run(
+                app, ExecutionConfig(n_nodes=n, n_threads=4, iterations=2)
+            )
+        assert len(cache) <= 2  # overflow emptied the table
+
+    def test_no_cache_by_default(self, engine):
+        assert engine.cache is None
+        evaluator = BatchEvaluator(engine)
+        app = get_app("ep.C")
+        cfg = ExecutionConfig(n_nodes=1, n_threads=4, iterations=2)
+        a = evaluator.run_many(app, [cfg])[0]
+        b = evaluator.run_many(app, [cfg])[0]
+        assert a is not b  # recomputed, not memoized
+        assert_identical(a, b)
