@@ -1,0 +1,41 @@
+"""Perf guard for the staged decision pipeline's warm path.
+
+Runs the cold-vs-warm scheduling benchmark, records the measurements
+to ``BENCH_pipeline.json`` at the repository root (alongside
+``BENCH_batch.json``), and enforces the refactor's acceptance bar:
+a warm-cache ``schedule()`` must be measurably faster than a cold one.
+"""
+
+from bench_pipeline import run_pipeline_bench
+
+#: Acceptance floor: a warm decision (knowledge hit + cached bundle)
+#: skips profiling and model fitting entirely, so it must be clearly
+#: cheaper than a cold one (~3x measured; floor kept loose for CI).
+MIN_WARM_SPEEDUP = 1.5
+
+
+def test_pipeline_warm_speedup(report):
+    payload = run_pipeline_bench()
+    cold = payload["cold"]
+    warm = payload["warm"]
+
+    lines = [
+        "Staged pipeline — cold vs warm schedule() "
+        f"({len(payload['apps'])} apps, {len(payload['budgets_w'])} budgets)",
+        f"  cold : {cold['per_decision_s'] * 1e3:8.2f} ms/decision "
+        f"({cold['decisions']} decisions)",
+        f"  warm : {warm['per_decision_s'] * 1e3:8.2f} ms/decision "
+        f"({warm['decisions']} decisions, "
+        f"{payload['warm_speedup']:.1f}x)",
+        f"  batch: {payload['schedule_many']['per_job_s'] * 1e3:8.2f} ms/job "
+        f"({payload['schedule_many']['jobs']} jobs via schedule_many)",
+        f"  bundles fitted: {payload['bundle_cache']['misses']} "
+        f"(hits {payload['bundle_cache']['hits']})",
+    ]
+    report("perf_pipeline", "\n".join(lines))
+
+    # Correctness first: the warm/batch paths must emit the same plans.
+    assert payload["decisions_identical"]
+    # Warm decisions fit nothing new: one bundle per distinct app.
+    assert payload["bundle_cache"]["misses"] == len(payload["apps"])
+    assert payload["warm_speedup"] >= MIN_WARM_SPEEDUP, payload

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.baselines.base import PowerBoundedScheduler
 from repro.core.knowledge import KnowledgeDB, KnowledgeEntry
-from repro.core.powermodel import ClipPowerModel
+from repro.core.pipeline import ModelBundleCache
 from repro.core.profile import SmartProfiler
 from repro.errors import InfeasibleBudgetError
 from repro.sim.engine import ExecutionConfig, ExecutionEngine
@@ -42,14 +42,22 @@ class CoordinatedScheduler(PowerBoundedScheduler):
         super().__init__(engine)
         self._profiler = profiler or SmartProfiler(engine)
         self._kb = knowledge if knowledge is not None else KnowledgeDB()
+        self._bundles = ModelBundleCache()
 
-    def _power_model(self, app: WorkloadCharacteristics) -> ClipPowerModel:
+    def _power_model(self, app: WorkloadCharacteristics):
+        """The app's fitted power model, via the shared bundle cache.
+
+        Coordinated uses no inflection prediction, so its entries carry
+        ``inflection_point=None`` — the bundle's power model is all it
+        reads; the scalability intelligence stays switched off.
+        """
         if self._kb.has(app.name, app.problem_size):
-            profile = self._kb.get(app.name, app.problem_size).profile
+            entry = self._kb.get(app.name, app.problem_size)
         else:
-            profile = self._profiler.profile(app)
-            self._kb.put(KnowledgeEntry(profile=profile))
-        return ClipPowerModel(profile, self.engine.cluster.spec.node)
+            entry = KnowledgeEntry(profile=self._profiler.profile(app))
+            self._kb.put(entry)
+        bundle = self._bundles.get_or_build(entry, self.engine.cluster.spec.node)
+        return bundle.power_model
 
     def plan(
         self, app: WorkloadCharacteristics, cluster_budget_w: float

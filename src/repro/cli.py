@@ -6,7 +6,8 @@ Subcommands mirror the framework's helper tools (§IV-B):
 * ``profile``   — smart-profile an application and print the result;
 * ``classify``  — just the scalability classification;
 * ``schedule``  — run Algorithm 1 for a budget and print the decision
-  (and launch script);
+  (and launch script); ``--json`` emits the serialized decision plus
+  per-stage pipeline timings instead;
 * ``run``       — schedule *and* execute on the simulated testbed;
 * ``compare``   — the four-method comparison at one budget.
 
@@ -16,6 +17,7 @@ All commands operate on the simulated 8-node Haswell testbed.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis.experiments import (
@@ -67,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
             default="predictive",
             help="node-count selection: model-scored or Algorithm 1 literal",
         )
+        if name == "schedule":
+            p.add_argument(
+                "--json",
+                action="store_true",
+                help="print the serialized decision and per-stage trace "
+                "timings as JSON instead of the launch script",
+            )
 
     p = sub.add_parser("compare", help="compare the four methods at one budget")
     p.add_argument("budget", type=float)
@@ -133,6 +142,17 @@ def cmd_schedule(args) -> int:
     engine = _engine(args.seed)
     app = get_app(args.app)
     clip = _scheduler(engine)
+    if args.json:
+        decision, trace = clip.schedule_traced(
+            app, args.budget, allocation_mode=args.mode
+        )
+        print(
+            json.dumps(
+                {"decision": decision.to_dict(), "trace": trace.to_dict()},
+                indent=2,
+            )
+        )
+        return 0
     decision = clip.schedule(app, args.budget, allocation_mode=args.mode)
     print(render_script(app, decision))
     print(

@@ -17,6 +17,8 @@ observe (profiled times, RAPL power, PMU events):
 * :mod:`repro.core.recommend` — the Configuration Recommendation
   Module (node-level concurrency, affinity, CPU/DRAM split),
 * :mod:`repro.core.knowledge` — the knowledge database,
+* :mod:`repro.core.pipeline` — the staged decision pipeline and the
+  shared fitted-model bundle cache,
 * :mod:`repro.core.scheduler` — Algorithm 1 end to end,
 * :mod:`repro.core.execution` — the Application Execution Module.
 """
@@ -30,6 +32,13 @@ from repro.core.allocation import ClusterAllocation, ClusterAllocator
 from repro.core.coordination import coordinate_power
 from repro.core.recommend import NodeConfig, Recommender
 from repro.core.knowledge import KnowledgeDB
+from repro.core.pipeline import (
+    DecisionContext,
+    DecisionPipeline,
+    DecisionTrace,
+    ModelBundle,
+    ModelBundleCache,
+)
 from repro.core.scheduler import ClipScheduler, SchedulingDecision
 from repro.core.execution import ApplicationExecutionModule
 from repro.core.runtime import PowerBoundedRuntime, RunningJob, SegmentRecord
@@ -52,6 +61,11 @@ __all__ = [
     "NodeConfig",
     "Recommender",
     "KnowledgeDB",
+    "DecisionContext",
+    "DecisionPipeline",
+    "DecisionTrace",
+    "ModelBundle",
+    "ModelBundleCache",
     "ClipScheduler",
     "SchedulingDecision",
     "ApplicationExecutionModule",

@@ -115,9 +115,13 @@ class PowerBoundedJobQueue:
     def _drain_sequential(self, apps, budget, iterations):
         now = 0.0
         out = []
-        for i, app in enumerate(apps):
-            decision, result = self._scheduler.run(
-                app, budget, iterations=iterations
+        # one batched pipeline pass: duplicate submissions of a known
+        # application share a single decision (and model bundle)
+        decisions = self._scheduler.schedule_many(apps, budget)
+        engine = self._scheduler.engine
+        for i, (app, decision) in enumerate(zip(apps, decisions)):
+            result = engine.run(
+                app, decision.to_execution_config(iterations=iterations)
             )
             out.append(
                 CompletedJob(
@@ -167,7 +171,7 @@ class PowerBoundedJobQueue:
         batch = [pending.pop(0)]
         while pending:
             candidate = batch + [pending[0]]
-            if len(candidate) > self._scheduler._engine.cluster.n_nodes:
+            if len(candidate) > self._scheduler.engine.cluster.n_nodes:
                 break
             try:
                 self._coordinator.partition(candidate, budget)

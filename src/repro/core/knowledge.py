@@ -14,15 +14,20 @@ on-disk database of the real helper tools.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.core.profile import AppProfile, SampleRun
-from repro.errors import KnowledgeBaseError
+from repro.errors import KnowledgeBaseError, KnowledgeError
 from repro.hw.counters import EventCounters
 from repro.hw.numa import AffinityKind
 
-__all__ = ["KnowledgeEntry", "KnowledgeDB"]
+__all__ = ["KnowledgeEntry", "KnowledgeDB", "SCHEMA_VERSION"]
+
+#: On-disk schema version written by :meth:`KnowledgeDB.save`.
+SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -76,9 +81,16 @@ class KnowledgeDB:
     # ------------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write the database to a JSON file."""
+        """Write the database to a JSON file, atomically.
+
+        The payload is written to a temporary file in the target
+        directory and moved into place with :func:`os.replace`, so a
+        crash mid-save leaves either the old database or the new one —
+        never a truncated file.
+        """
+        path = Path(path)
         payload = {
-            "version": 1,
+            "version": SCHEMA_VERSION,
             "entries": [
                 {
                     "inflection_point": e.inflection_point,
@@ -87,18 +99,40 @@ class KnowledgeDB:
                 for e in self._entries.values()
             ],
         }
-        Path(path).write_text(json.dumps(payload, indent=2))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f, indent=2)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str | Path) -> "KnowledgeDB":
-        """Read a database previously written by :meth:`save`."""
+        """Read a database previously written by :meth:`save`.
+
+        Raises a clear :class:`~repro.errors.KnowledgeError` for
+        unreadable files and for schema-version mismatches (a database
+        written by an incompatible release must not be half-parsed).
+        """
         try:
             payload = json.loads(Path(path).read_text())
         except (OSError, json.JSONDecodeError) as exc:
-            raise KnowledgeBaseError(f"cannot load knowledge DB: {exc}") from exc
-        if payload.get("version") != 1:
-            raise KnowledgeBaseError(
-                f"unsupported knowledge DB version {payload.get('version')!r}"
+            raise KnowledgeError(f"cannot load knowledge DB: {exc}") from exc
+        version = payload.get("version") if isinstance(payload, dict) else None
+        if version != SCHEMA_VERSION:
+            raise KnowledgeError(
+                f"knowledge DB schema version {version!r} is not supported "
+                f"(this release reads version {SCHEMA_VERSION}); re-profile "
+                f"or convert the database"
             )
         db = cls()
         for raw in payload["entries"]:

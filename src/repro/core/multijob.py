@@ -22,8 +22,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.perfmodel import PerformancePredictor
-from repro.core.powermodel import ClipPowerModel
 from repro.core.recommend import NodeConfig, Recommender
 from repro.core.scheduler import ClipScheduler
 from repro.errors import InfeasibleBudgetError, SchedulingError
@@ -101,7 +99,7 @@ class MultiJobCoordinator:
 
     def __init__(self, scheduler: ClipScheduler):
         self._scheduler = scheduler
-        self._engine = scheduler._engine
+        self._engine = scheduler.engine
 
     def partition(
         self,
@@ -120,12 +118,12 @@ class MultiJobCoordinator:
             raise SchedulingError(
                 f"{len(apps)} jobs exceed the {cluster.n_nodes}-node cluster"
             )
-        states = []
-        for app in apps:
-            entry = self._scheduler.ensure_knowledge(app)
-            predictor = PerformancePredictor(entry.profile, entry.inflection_point)
-            power = ClipPowerModel(entry.profile, cluster.spec.node)
-            states.append(_JobState(app, Recommender(entry.profile, predictor, power)))
+        # the shared pipeline caches the fitted model bundle per entry,
+        # so repeated partitions of the same jobs fit nothing new
+        pipeline = self._scheduler.pipeline
+        states = [
+            _JobState(app, pipeline.bundle_for(app).recommender) for app in apps
+        ]
 
         spent = sum(s.budget for s in states)
         if spent > total_budget_w:

@@ -1,0 +1,786 @@
+"""The staged scheduling decision pipeline (Algorithm 1 as a dataflow).
+
+Algorithm 1 is an explicit chain — profile → classify → predict NP →
+fit perf/power models → allocate nodes/budgets → recommend per-node
+configurations — but the original code re-derived that chain ad hoc in
+five places (`ClipScheduler.schedule`, `MultiJobCoordinator`,
+`PowerBoundedJobQueue`, `PowerBoundedRuntime`, `BudgetPlanner`),
+re-fitting the models from scratch on every call.  This module is the
+single home of that chain:
+
+* :class:`DecisionContext` — an immutable dataclass threaded through
+  the stages; every stage returns a *new* context with its outputs
+  filled in, never mutating its input.
+* Named pure stages — :class:`ProfileStage`, :class:`ClassifyStage`,
+  :class:`InflectionStage`, :class:`FitModelsStage`,
+  :class:`AllocateStage`, :class:`RecommendStage` — each recording its
+  inputs, outputs and wall time into a structured
+  :class:`DecisionTrace`.
+* :class:`ModelBundle` / :class:`ModelBundleCache` — the fitted
+  (predictor, power model, recommender) triple is built **once** per
+  knowledge-DB entry and reused across decisions; every consumer
+  (scheduler, multi-job coordinator, queue, runtime, planner, the
+  Coordinated baseline) shares the same bundles.
+* :class:`SchedulingDecision` — Algorithm 1's output, JSON-serializable
+  via :meth:`~SchedulingDecision.to_dict` /
+  :meth:`~SchedulingDecision.from_dict` so decisions can be persisted
+  or shipped over a wire.
+* :meth:`DecisionPipeline.decide_many` — the batch entry point:
+  duplicate (app, budget) jobs collapse to one pipeline pass, and
+  profiling samples ride the vectorized engine path.
+
+Model construction (:class:`PerformancePredictor`,
+:class:`ClipPowerModel`, :class:`Recommender`) happens *only* here —
+a test greps the consumer modules to keep it that way.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.allocation import ClusterAllocation, ClusterAllocator
+from repro.core.classify import ScalabilityClass
+from repro.core.coordination import VARIABILITY_THRESHOLD, measure_node_factors
+from repro.core.inflection import InflectionPredictor
+from repro.core.knowledge import KnowledgeDB, KnowledgeEntry
+from repro.core.perfmodel import PerformancePredictor
+from repro.core.powermodel import ClipPowerModel
+from repro.core.profile import AppProfile, SmartProfiler
+from repro.core.recommend import NodeConfig, Recommender
+from repro.errors import SchedulingError
+from repro.hw.numa import AffinityKind
+from repro.hw.specs import NodeSpec
+from repro.sim.engine import ExecutionConfig, ExecutionEngine
+from repro.workloads.characteristics import WorkloadCharacteristics
+
+__all__ = [
+    "ModelBundle",
+    "ModelBundleCache",
+    "DecisionContext",
+    "StageRecord",
+    "DecisionTrace",
+    "SchedulingDecision",
+    "DecisionPipeline",
+    "ProfileStage",
+    "ClassifyStage",
+    "InflectionStage",
+    "FitModelsStage",
+    "AllocateStage",
+    "RecommendStage",
+]
+
+
+# ----------------------------------------------------------------------
+# model bundles
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModelBundle:
+    """The fitted model triple for one knowledge-DB entry.
+
+    Everything a decision needs beyond the budget: the performance
+    predictor (Eq. 1–3), the power model (Eq. 4–9), and the
+    recommendation engine combining them.  Bundles are immutable and
+    deterministic functions of ``(entry, node_spec)``, which is what
+    makes caching them sound.
+    """
+
+    entry: KnowledgeEntry
+    predictor: PerformancePredictor
+    power_model: ClipPowerModel
+    recommender: Recommender
+
+    @property
+    def profile(self) -> AppProfile:
+        """The profile the models were fitted from."""
+        return self.entry.profile
+
+    @classmethod
+    def from_entry(cls, entry: KnowledgeEntry, node: NodeSpec) -> "ModelBundle":
+        """Fit the triple from a knowledge-DB entry (the only place
+        the three models are constructed)."""
+        predictor = PerformancePredictor(entry.profile, entry.inflection_point)
+        power_model = ClipPowerModel(entry.profile, node)
+        recommender = Recommender(entry.profile, predictor, power_model)
+        return cls(
+            entry=entry,
+            predictor=predictor,
+            power_model=power_model,
+            recommender=recommender,
+        )
+
+
+class ModelBundleCache:
+    """Caches :class:`ModelBundle`\\ s keyed on knowledge-DB entries.
+
+    The key is the entry's ``(app_name, problem_size)``; a cached
+    bundle is only served while its entry is still the one in the
+    knowledge DB (re-profiling an app invalidates its bundle).  The
+    ``hits`` / ``misses`` counters let tests assert the warm path
+    builds each bundle exactly once.
+    """
+
+    def __init__(self):
+        self._bundles: dict[tuple[str, str], ModelBundle] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._bundles)
+
+    def get_or_build(self, entry: KnowledgeEntry, node: NodeSpec) -> ModelBundle:
+        """Return the entry's bundle, fitting the models on first use."""
+        cached = self._bundles.get(entry.key)
+        if cached is not None and (
+            cached.entry is entry or cached.entry == entry
+        ):
+            self.hits += 1
+            return cached
+        self.misses += 1
+        bundle = ModelBundle.from_entry(entry, node)
+        self._bundles[entry.key] = bundle
+        return bundle
+
+    def invalidate(self, key: tuple[str, str] | None = None) -> None:
+        """Drop one key (or everything) from the cache."""
+        if key is None:
+            self._bundles.clear()
+        else:
+            self._bundles.pop(key, None)
+
+
+# ----------------------------------------------------------------------
+# decision output
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """Everything Algorithm 1 outputs for one job."""
+
+    app_name: str
+    cluster_budget_w: float
+    scalability_class: ScalabilityClass
+    inflection_point: int | None
+    allocation: ClusterAllocation
+    node_configs: tuple[NodeConfig, ...]
+    phase_threads: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_nodes(self) -> int:
+        """Suggested number of active compute nodes."""
+        return self.allocation.n_nodes
+
+    @property
+    def n_threads(self) -> int:
+        """Suggested active cores per node (uniform across nodes)."""
+        return self.node_configs[0].n_threads
+
+    @property
+    def total_capped_w(self) -> float:
+        """Sum of all programmed caps — must be <= the budget."""
+        return float(sum(c.node_budget_w for c in self.node_configs))
+
+    @property
+    def predicted_perf(self) -> float:
+        """Predicted job throughput (iterations/s)."""
+        return self.allocation.predicted_cluster_perf
+
+    def to_execution_config(self, iterations: int | None = None) -> ExecutionConfig:
+        """Translate the decision into an engine configuration."""
+        return ExecutionConfig(
+            n_nodes=self.n_nodes,
+            n_threads=self.n_threads,
+            affinity=self.node_configs[0].affinity,
+            per_node_caps=tuple(
+                (c.pkg_cap_w, c.dram_cap_w) for c in self.node_configs
+            ),
+            iterations=iterations,
+            phase_threads=dict(self.phase_threads),
+        )
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (persisted / wire format)."""
+        return {
+            "app_name": self.app_name,
+            "cluster_budget_w": self.cluster_budget_w,
+            "scalability_class": self.scalability_class.value,
+            "inflection_point": self.inflection_point,
+            "allocation": {
+                "n_nodes": self.allocation.n_nodes,
+                "node_budgets_w": list(self.allocation.node_budgets_w),
+                "node_lo_w": self.allocation.node_lo_w,
+                "node_hi_w": self.allocation.node_hi_w,
+                "predicted_cluster_perf": self.allocation.predicted_cluster_perf,
+            },
+            "node_configs": [
+                {
+                    "n_threads": c.n_threads,
+                    "affinity": c.affinity.value,
+                    "pkg_cap_w": c.pkg_cap_w,
+                    "dram_cap_w": c.dram_cap_w,
+                    "predicted_frequency_hz": c.predicted_frequency_hz,
+                    "predicted_perf": c.predicted_perf,
+                }
+                for c in self.node_configs
+            ],
+            "phase_threads": dict(self.phase_threads),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SchedulingDecision":
+        """Rebuild a decision from :meth:`to_dict` output."""
+        alloc = raw["allocation"]
+        return cls(
+            app_name=raw["app_name"],
+            cluster_budget_w=float(raw["cluster_budget_w"]),
+            scalability_class=ScalabilityClass(raw["scalability_class"]),
+            inflection_point=raw["inflection_point"],
+            allocation=ClusterAllocation(
+                n_nodes=int(alloc["n_nodes"]),
+                node_budgets_w=tuple(float(b) for b in alloc["node_budgets_w"]),
+                node_lo_w=float(alloc["node_lo_w"]),
+                node_hi_w=float(alloc["node_hi_w"]),
+                predicted_cluster_perf=float(alloc["predicted_cluster_perf"]),
+            ),
+            node_configs=tuple(
+                NodeConfig(
+                    n_threads=int(c["n_threads"]),
+                    affinity=AffinityKind(c["affinity"]),
+                    pkg_cap_w=float(c["pkg_cap_w"]),
+                    dram_cap_w=float(c["dram_cap_w"]),
+                    predicted_frequency_hz=float(c["predicted_frequency_hz"]),
+                    predicted_perf=float(c["predicted_perf"]),
+                )
+                for c in raw["node_configs"]
+            ),
+            phase_threads={
+                str(k): int(v) for k, v in raw["phase_threads"].items()
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# context and trace
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DecisionContext:
+    """Immutable state threaded through the pipeline stages.
+
+    The request fields (app, budget, options) are set once; each stage
+    fills in its own output field via :func:`dataclasses.replace` and
+    hands a new context to the next stage.
+    """
+
+    app: WorkloadCharacteristics
+    cluster_budget_w: float
+    predefined_node_counts: tuple[int, ...] | None = None
+    allocation_mode: str = "predictive"
+    # stage outputs
+    knowledge_hit: bool | None = None
+    profile: AppProfile | None = None
+    scalability_class: ScalabilityClass | None = None
+    entry: KnowledgeEntry | None = None
+    bundle: ModelBundle | None = None
+    allocation: ClusterAllocation | None = None
+    decision: SchedulingDecision | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary of the request and stage progress."""
+        return {
+            "app_name": self.app.name,
+            "problem_size": self.app.problem_size,
+            "cluster_budget_w": self.cluster_budget_w,
+            "predefined_node_counts": (
+                list(self.predefined_node_counts)
+                if self.predefined_node_counts is not None
+                else None
+            ),
+            "allocation_mode": self.allocation_mode,
+            "knowledge_hit": self.knowledge_hit,
+            "scalability_class": (
+                self.scalability_class.value
+                if self.scalability_class is not None
+                else None
+            ),
+            "inflection_point": (
+                self.entry.inflection_point if self.entry is not None else None
+            ),
+            "decision": (
+                self.decision.to_dict() if self.decision is not None else None
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One stage's execution record inside a :class:`DecisionTrace`."""
+
+    stage: str
+    wall_time_s: float
+    inputs: dict
+    outputs: dict
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "stage": self.stage,
+            "wall_time_s": self.wall_time_s,
+            "inputs": self.inputs,
+            "outputs": self.outputs,
+        }
+
+
+@dataclass
+class DecisionTrace:
+    """Structured record of one pipeline pass, stage by stage."""
+
+    stages: list[StageRecord] = field(default_factory=list)
+
+    @property
+    def total_time_s(self) -> float:
+        """Wall time summed over the recorded stages."""
+        return sum(s.wall_time_s for s in self.stages)
+
+    def record(self, record: StageRecord) -> None:
+        """Append one stage's record."""
+        self.stages.append(record)
+
+    def stage(self, name: str) -> StageRecord:
+        """The named stage's record; raises on an unknown stage."""
+        for s in self.stages:
+            if s.stage == name:
+                return s
+        raise KeyError(name)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (stage timings first)."""
+        return {
+            "total_time_s": self.total_time_s,
+            "stages": [s.to_dict() for s in self.stages],
+        }
+
+
+# ----------------------------------------------------------------------
+# stages
+# ----------------------------------------------------------------------
+
+
+class ProfileStage:
+    """Look the job up in the knowledge DB; smart-profile on a miss."""
+
+    name = "profile"
+
+    def __init__(self, knowledge: KnowledgeDB, profiler: SmartProfiler):
+        self._kb = knowledge
+        self._profiler = profiler
+
+    def run(self, ctx: DecisionContext) -> DecisionContext:
+        """Fill ``ctx.profile`` (and ``ctx.entry`` on a DB hit)."""
+        app = ctx.app
+        if self._kb.has(app.name, app.problem_size):
+            entry = self._kb.get(app.name, app.problem_size)
+            return replace(
+                ctx, knowledge_hit=True, entry=entry, profile=entry.profile
+            )
+        return replace(
+            ctx, knowledge_hit=False, profile=self._profiler.profile(app)
+        )
+
+    def outputs(self, ctx: DecisionContext) -> dict:
+        """Trace summary of this stage's products."""
+        return {
+            "knowledge_hit": ctx.knowledge_hit,
+            "n_samples": ctx.profile.n_samples,
+        }
+
+
+class ClassifyStage:
+    """Derive the scalability class from the profiling ratio."""
+
+    name = "classify"
+
+    def run(self, ctx: DecisionContext) -> DecisionContext:
+        """Fill ``ctx.scalability_class``."""
+        return replace(ctx, scalability_class=ctx.profile.scalability_class)
+
+    def outputs(self, ctx: DecisionContext) -> dict:
+        """Trace summary of this stage's products."""
+        return {
+            "scalability_class": ctx.scalability_class.value,
+            "ratio": ctx.profile.ratio,
+        }
+
+
+class InflectionStage:
+    """Predict NP for non-linear classes and run the confirmation sample."""
+
+    name = "inflection"
+
+    def __init__(
+        self,
+        knowledge: KnowledgeDB,
+        profiler: SmartProfiler,
+        inflection: InflectionPredictor,
+    ):
+        self._kb = knowledge
+        self._profiler = profiler
+        self._inflection = inflection
+
+    def run(self, ctx: DecisionContext) -> DecisionContext:
+        """Fill ``ctx.entry`` and persist it to the knowledge DB."""
+        if ctx.entry is not None:  # knowledge hit — NP already recorded
+            return ctx
+        profile = ctx.profile
+        np_pred: int | None = None
+        if ctx.scalability_class.is_nonlinear:
+            np_pred = self._inflection.predict(profile)
+            profile = self._profiler.confirm(ctx.app, profile, np_pred)
+        entry = KnowledgeEntry(profile=profile, inflection_point=np_pred)
+        self._kb.put(entry)
+        return replace(ctx, entry=entry, profile=profile)
+
+    def outputs(self, ctx: DecisionContext) -> dict:
+        """Trace summary of this stage's products."""
+        return {"inflection_point": ctx.entry.inflection_point}
+
+
+class FitModelsStage:
+    """Fetch (or fit once) the entry's performance/power/recommender triple."""
+
+    name = "fit_models"
+
+    def __init__(self, cache: ModelBundleCache, node: NodeSpec):
+        self._cache = cache
+        self._node = node
+
+    def run(self, ctx: DecisionContext) -> DecisionContext:
+        """Fill ``ctx.bundle`` from the shared cache."""
+        was_built = self._cache.misses
+        bundle = self._cache.get_or_build(ctx.entry, self._node)
+        self._fitted = self._cache.misses > was_built
+        return replace(ctx, bundle=bundle)
+
+    def outputs(self, ctx: DecisionContext) -> dict:
+        """Trace summary of this stage's products."""
+        return {"bundle_cached": not self._fitted}
+
+
+class AllocateStage:
+    """Choose the node count and variability-coordinated per-node budgets."""
+
+    name = "allocate"
+
+    def __init__(
+        self,
+        n_total_nodes: int,
+        node_factors: np.ndarray,
+        variability_threshold: float,
+    ):
+        self._n_total = n_total_nodes
+        self._factors = node_factors
+        self._threshold = variability_threshold
+
+    def run(self, ctx: DecisionContext) -> DecisionContext:
+        """Fill ``ctx.allocation``."""
+        allocator = ClusterAllocator(
+            ctx.bundle.recommender,
+            self._n_total,
+            node_factors=self._factors,
+            variability_threshold=self._threshold,
+        )
+        allocation = allocator.allocate(
+            ctx.cluster_budget_w,
+            predefined=ctx.predefined_node_counts,
+            mode=ctx.allocation_mode,
+        )
+        return replace(ctx, allocation=allocation)
+
+    def outputs(self, ctx: DecisionContext) -> dict:
+        """Trace summary of this stage's products."""
+        return {
+            "n_nodes": ctx.allocation.n_nodes,
+            "total_allocated_w": ctx.allocation.total_allocated_w,
+        }
+
+
+class RecommendStage:
+    """Recommend per-node configs for each node's budget; emit the decision."""
+
+    name = "recommend"
+
+    def run(self, ctx: DecisionContext) -> DecisionContext:
+        """Fill ``ctx.decision``."""
+        recommender = ctx.bundle.recommender
+        power_model = ctx.bundle.power_model
+        allocation = ctx.allocation
+        configs = []
+        base = recommender.recommend(min(allocation.node_budgets_w))
+        for budget in allocation.node_budgets_w:
+            # Keep concurrency uniform across ranks (one decomposition);
+            # each node spends its own budget on frequency headroom.
+            pkg, dram = power_model.split_node_budget(budget, base.n_threads)
+            f = power_model.max_freq_under(pkg, base.n_threads)
+            configs.append(
+                replace(
+                    base,
+                    pkg_cap_w=pkg,
+                    dram_cap_w=dram,
+                    predicted_frequency_hz=(
+                        f if f is not None else base.predicted_frequency_hz
+                    ),
+                )
+            )
+        # phase-by-phase concurrency adjustment (§V-B.1): a phase whose
+        # time did not improve from half- to all-core keeps the smaller
+        # count (only kept when below the global choice)
+        overrides = {
+            name: n
+            for name, n in recommender.phase_overrides().items()
+            if n < base.n_threads
+        }
+        decision = SchedulingDecision(
+            app_name=ctx.app.name,
+            cluster_budget_w=ctx.cluster_budget_w,
+            scalability_class=ctx.profile.scalability_class,
+            inflection_point=ctx.entry.inflection_point,
+            allocation=allocation,
+            node_configs=tuple(configs),
+            phase_threads=overrides,
+        )
+        return replace(ctx, decision=decision)
+
+    def outputs(self, ctx: DecisionContext) -> dict:
+        """Trace summary of this stage's products."""
+        return {
+            "n_threads": ctx.decision.n_threads,
+            "total_capped_w": ctx.decision.total_capped_w,
+            "phase_overrides": len(ctx.decision.phase_threads),
+        }
+
+
+# ----------------------------------------------------------------------
+# the pipeline
+# ----------------------------------------------------------------------
+
+
+class DecisionPipeline:
+    """The shared, staged scheduling core every consumer composes.
+
+    Owns the knowledge DB, the smart profiler, the trained inflection
+    predictor, the calibrated node factors, and the
+    :class:`ModelBundleCache` — the full state Algorithm 1 needs.  All
+    entry points are thin compositions of the same six stages:
+
+    * :meth:`ensure_knowledge` — stages 1–3 (profile, classify, NP);
+    * :meth:`bundle_for` — stages 1–4, returning the fitted models;
+    * :meth:`decide` / :meth:`decide_traced` — the full chain;
+    * :meth:`decide_many` — the batch entry point.
+    """
+
+    def __init__(
+        self,
+        engine: ExecutionEngine,
+        inflection: InflectionPredictor,
+        knowledge: KnowledgeDB | None = None,
+        profiler: SmartProfiler | None = None,
+        node_factors: np.ndarray | None = None,
+        variability_threshold: float = VARIABILITY_THRESHOLD,
+    ):
+        self._engine = engine
+        self._kb = knowledge if knowledge is not None else KnowledgeDB()
+        self._profiler = profiler or SmartProfiler(engine)
+        self._inflection = inflection
+        self._factors = (
+            np.asarray(node_factors, dtype=np.float64)
+            if node_factors is not None
+            else measure_node_factors(engine)
+        )
+        self._threshold = variability_threshold
+        self._bundles = ModelBundleCache()
+        node = engine.cluster.spec.node
+        self._knowledge_stages = (
+            ProfileStage(self._kb, self._profiler),
+            ClassifyStage(),
+            InflectionStage(self._kb, self._profiler, inflection),
+        )
+        self._model_stage = FitModelsStage(self._bundles, node)
+        self._decision_stages = (
+            AllocateStage(
+                engine.cluster.n_nodes, self._factors, variability_threshold
+            ),
+            RecommendStage(),
+        )
+
+    # -- shared state --------------------------------------------------
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The execution engine decisions are made for."""
+        return self._engine
+
+    @property
+    def knowledge(self) -> KnowledgeDB:
+        """The knowledge database (shared, persistable)."""
+        return self._kb
+
+    @property
+    def bundle_cache(self) -> ModelBundleCache:
+        """The shared fitted-model cache."""
+        return self._bundles
+
+    @property
+    def node_factors(self) -> np.ndarray:
+        """Calibrated per-node power-efficiency factors."""
+        return self._factors.copy()
+
+    @property
+    def stages(self) -> tuple:
+        """The six stages, in execution order."""
+        return (
+            *self._knowledge_stages,
+            self._model_stage,
+            *self._decision_stages,
+        )
+
+    # -- stage execution -----------------------------------------------
+
+    def _run_stage(
+        self, stage, ctx: DecisionContext, trace: DecisionTrace | None
+    ) -> DecisionContext:
+        if trace is None:
+            return stage.run(ctx)
+        inputs = {
+            "app_name": ctx.app.name,
+            "problem_size": ctx.app.problem_size,
+            "cluster_budget_w": ctx.cluster_budget_w,
+        }
+        start = time.perf_counter()
+        out = stage.run(ctx)
+        elapsed = time.perf_counter() - start
+        trace.record(
+            StageRecord(
+                stage=stage.name,
+                wall_time_s=elapsed,
+                inputs=inputs,
+                outputs=stage.outputs(out) if hasattr(stage, "outputs") else {},
+            )
+        )
+        return out
+
+    def _ensure_knowledge_ctx(
+        self, ctx: DecisionContext, trace: DecisionTrace | None
+    ) -> DecisionContext:
+        for stage in self._knowledge_stages:
+            ctx = self._run_stage(stage, ctx, trace)
+        return ctx
+
+    # -- entry points --------------------------------------------------
+
+    def ensure_knowledge(self, app: WorkloadCharacteristics) -> KnowledgeEntry:
+        """Return the app's knowledge entry, profiling on a miss.
+
+        Profiling is the 2-sample smart profile, plus — for non-linear
+        classes — the NP prediction and the confirmation sample.
+        """
+        ctx = DecisionContext(app=app, cluster_budget_w=0.0)
+        return self._ensure_knowledge_ctx(ctx, None).entry
+
+    def bundle_for(self, app: WorkloadCharacteristics) -> ModelBundle:
+        """The app's fitted model bundle (stages 1–4, cached)."""
+        ctx = DecisionContext(app=app, cluster_budget_w=0.0)
+        ctx = self._ensure_knowledge_ctx(ctx, None)
+        return self._run_stage(self._model_stage, ctx, None).bundle
+
+    def decide(
+        self,
+        app: WorkloadCharacteristics,
+        cluster_budget_w: float,
+        predefined_node_counts: tuple[int, ...] | None = None,
+        allocation_mode: str = "predictive",
+    ) -> SchedulingDecision:
+        """Run the full pipeline and return the decision."""
+        decision, _ = self._decide(
+            app,
+            cluster_budget_w,
+            predefined_node_counts,
+            allocation_mode,
+            trace=None,
+        )
+        return decision
+
+    def decide_traced(
+        self,
+        app: WorkloadCharacteristics,
+        cluster_budget_w: float,
+        predefined_node_counts: tuple[int, ...] | None = None,
+        allocation_mode: str = "predictive",
+    ) -> tuple[SchedulingDecision, DecisionTrace]:
+        """Run the full pipeline, recording a :class:`DecisionTrace`."""
+        return self._decide(
+            app,
+            cluster_budget_w,
+            predefined_node_counts,
+            allocation_mode,
+            trace=DecisionTrace(),
+        )
+
+    def _decide(
+        self,
+        app: WorkloadCharacteristics,
+        cluster_budget_w: float,
+        predefined_node_counts: tuple[int, ...] | None,
+        allocation_mode: str,
+        trace: DecisionTrace | None,
+    ) -> tuple[SchedulingDecision, DecisionTrace | None]:
+        if cluster_budget_w <= 0:
+            raise SchedulingError("cluster budget must be > 0")
+        ctx = DecisionContext(
+            app=app,
+            cluster_budget_w=cluster_budget_w,
+            predefined_node_counts=predefined_node_counts,
+            allocation_mode=allocation_mode,
+        )
+        ctx = self._ensure_knowledge_ctx(ctx, trace)
+        ctx = self._run_stage(self._model_stage, ctx, trace)
+        for stage in self._decision_stages:
+            ctx = self._run_stage(stage, ctx, trace)
+        return ctx.decision, trace
+
+    def decide_many(
+        self,
+        apps: list[WorkloadCharacteristics],
+        cluster_budget_w: float,
+        predefined_node_counts: tuple[int, ...] | None = None,
+        allocation_mode: str = "predictive",
+    ) -> list[SchedulingDecision]:
+        """Decide a batch of jobs under one budget, sharing all caches.
+
+        Duplicate ``(app, problem_size)`` submissions collapse to a
+        single pipeline pass (the queue workload: many arrivals of few
+        distinct applications), and each job's profiling samples ride
+        the vectorized batch-evaluation engine path.
+        """
+        memo: dict[tuple[str, str], SchedulingDecision] = {}
+        out: list[SchedulingDecision] = []
+        for app in apps:
+            key = (app.name, app.problem_size)
+            decision = memo.get(key)
+            if decision is None:
+                decision = self.decide(
+                    app,
+                    cluster_budget_w,
+                    predefined_node_counts=predefined_node_counts,
+                    allocation_mode=allocation_mode,
+                )
+                memo[key] = decision
+            out.append(decision)
+        return out

@@ -62,19 +62,10 @@ class BudgetPlanner:
         Every node at the application's acceptable ceiling — the
         saturation point of the whole curve.
         """
-        entry = self._scheduler.ensure_knowledge(app)
-        from repro.core.perfmodel import PerformancePredictor
-        from repro.core.powermodel import ClipPowerModel
-        from repro.core.recommend import Recommender
-
-        rec = Recommender(
-            entry.profile,
-            PerformancePredictor(entry.profile, entry.inflection_point),
-            ClipPowerModel(entry.profile, self._scheduler._engine.cluster.spec.node),
-        )
+        rec = self._scheduler.pipeline.bundle_for(app).recommender
         n = rec.unbounded_concurrency()
         hi = rec.power_model.power_range(n).node_hi_w
-        return hi * self._scheduler._engine.cluster.n_nodes
+        return hi * self._scheduler.engine.cluster.n_nodes
 
     def plan(
         self, app: WorkloadCharacteristics, target_perf: float
@@ -149,7 +140,7 @@ class BudgetPlanner:
         loop that converges in a couple of rounds because the miss
         ratio is nearly budget-independent.
         """
-        engine = self._scheduler._engine
+        engine = self._scheduler.engine
         effective_target = target_perf
         plan = self.plan(app, effective_target)
         for _ in range(max_rounds):

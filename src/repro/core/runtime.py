@@ -28,9 +28,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.coordination import coordinate_power, measure_node_factors
-from repro.core.knowledge import KnowledgeEntry
-from repro.core.perfmodel import PerformancePredictor
-from repro.core.powermodel import ClipPowerModel
 from repro.core.recommend import Recommender
 from repro.core.scheduler import ClipScheduler
 from repro.errors import InfeasibleBudgetError, SchedulingError
@@ -93,7 +90,7 @@ class PowerBoundedRuntime:
 
     def __init__(self, scheduler: ClipScheduler):
         self._scheduler = scheduler
-        self._engine = scheduler._engine
+        self._engine = scheduler.engine
         self._factors = scheduler.node_factors
 
     @property
@@ -103,13 +100,9 @@ class PowerBoundedRuntime:
 
     # ------------------------------------------------------------------
 
-    def _models(
-        self, app: WorkloadCharacteristics
-    ) -> tuple[KnowledgeEntry, Recommender]:
-        entry = self._scheduler.ensure_knowledge(app)
-        predictor = PerformancePredictor(entry.profile, entry.inflection_point)
-        power = ClipPowerModel(entry.profile, self._engine.cluster.spec.node)
-        return entry, Recommender(entry.profile, predictor, power)
+    def _models(self, app: WorkloadCharacteristics) -> Recommender:
+        """The app's fitted recommendation engine (shared bundle cache)."""
+        return self._scheduler.pipeline.bundle_for(app).recommender
 
     def launch(
         self,
@@ -130,7 +123,7 @@ class PowerBoundedRuntime:
             raise SchedulingError(
                 f"n_nodes {n_nodes} outside [1, {self._engine.cluster.n_nodes}]"
             )
-        _, recommender = self._models(app)
+        recommender = self._models(app)
         if n_threads is None:
             n_threads = recommender.unbounded_concurrency()
         job = RunningJob(
@@ -151,8 +144,7 @@ class PowerBoundedRuntime:
         if new_budget_w <= 0:
             raise SchedulingError("budget must be > 0")
         job.budget_w = new_budget_w
-        _, recommender = self._models(job.app)
-        self._recoordinate(job, recommender)
+        self._recoordinate(job, self._models(job.app))
 
     def recalibrate(self) -> None:
         """Re-measure node power factors (after degradation events)."""

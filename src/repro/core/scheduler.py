@@ -1,89 +1,47 @@
 """Algorithm 1: the CLIP power-bounded scheduler, end to end.
 
-Composes every piece of the framework:
+A thin facade over the shared staged pipeline
+(:mod:`repro.core.pipeline`), which composes every piece of the
+framework:
 
 1. look the job up in the knowledge database; on a miss, smart-profile
    it (and, for non-linear classes, predict NP and run the
    confirmation sample);
 2. fit the performance and power models from the profile and derive
-   the acceptable per-node power range;
+   the acceptable per-node power range (cached per knowledge entry as
+   a :class:`~repro.core.pipeline.ModelBundle`);
 3. choose the node count and per-node budgets (cluster level,
    variability-coordinated);
 4. recommend the per-node configuration — threads, affinity, CPU/DRAM
    caps — for each node's budget.
 
 :meth:`ClipScheduler.schedule` returns the decision;
-:meth:`ClipScheduler.run` additionally executes it on the simulated
-testbed and returns the :class:`~repro.sim.trace.RunResult`.
+:meth:`ClipScheduler.schedule_traced` additionally returns the
+per-stage :class:`~repro.core.pipeline.DecisionTrace`;
+:meth:`ClipScheduler.schedule_many` decides a whole batch of jobs on
+the shared caches; :meth:`ClipScheduler.run` executes a decision on
+the simulated testbed and returns the
+:class:`~repro.sim.trace.RunResult`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-
 import numpy as np
 
-from repro.core.allocation import ClusterAllocation, ClusterAllocator
-from repro.core.classify import ScalabilityClass
 from repro.core.coordination import VARIABILITY_THRESHOLD, measure_node_factors
 from repro.core.inflection import InflectionPredictor
 from repro.core.knowledge import KnowledgeDB, KnowledgeEntry
-from repro.core.perfmodel import PerformancePredictor
-from repro.core.powermodel import ClipPowerModel
+from repro.core.pipeline import (
+    DecisionPipeline,
+    DecisionTrace,
+    SchedulingDecision,
+)
 from repro.core.profile import SmartProfiler
-from repro.core.recommend import NodeConfig, Recommender
-from repro.errors import SchedulingError
-from repro.sim.engine import ExecutionConfig, ExecutionEngine
+from repro.sim.engine import ExecutionEngine
 from repro.sim.trace import RunResult
 from repro.workloads.characteristics import WorkloadCharacteristics
 
 __all__ = ["SchedulingDecision", "ClipScheduler"]
-
-
-@dataclass(frozen=True)
-class SchedulingDecision:
-    """Everything Algorithm 1 outputs for one job."""
-
-    app_name: str
-    cluster_budget_w: float
-    scalability_class: ScalabilityClass
-    inflection_point: int | None
-    allocation: ClusterAllocation
-    node_configs: tuple[NodeConfig, ...]
-    phase_threads: dict[str, int] = field(default_factory=dict)
-
-    @property
-    def n_nodes(self) -> int:
-        """Suggested number of active compute nodes."""
-        return self.allocation.n_nodes
-
-    @property
-    def n_threads(self) -> int:
-        """Suggested active cores per node (uniform across nodes)."""
-        return self.node_configs[0].n_threads
-
-    @property
-    def total_capped_w(self) -> float:
-        """Sum of all programmed caps — must be <= the budget."""
-        return float(sum(c.node_budget_w for c in self.node_configs))
-
-    @property
-    def predicted_perf(self) -> float:
-        """Predicted job throughput (iterations/s)."""
-        return self.allocation.predicted_cluster_perf
-
-    def to_execution_config(self, iterations: int | None = None) -> ExecutionConfig:
-        """Translate the decision into an engine configuration."""
-        return ExecutionConfig(
-            n_nodes=self.n_nodes,
-            n_threads=self.n_threads,
-            affinity=self.node_configs[0].affinity,
-            per_node_caps=tuple(
-                (c.pkg_cap_w, c.dram_cap_w) for c in self.node_configs
-            ),
-            iterations=iterations,
-            phase_threads=dict(self.phase_threads),
-        )
 
 
 class ClipScheduler:
@@ -99,25 +57,39 @@ class ClipScheduler:
         variability_threshold: float = VARIABILITY_THRESHOLD,
     ):
         self._engine = engine
-        self._inflection = inflection
-        self._kb = knowledge if knowledge is not None else KnowledgeDB()
-        self._profiler = profiler or SmartProfiler(engine)
-        self._threshold = variability_threshold
-        self._factors = (
+        factors = (
             measure_node_factors(engine)
             if calibrate_variability
             else np.ones(engine.cluster.n_nodes)
         )
+        self._pipeline = DecisionPipeline(
+            engine,
+            inflection,
+            knowledge=knowledge,
+            profiler=profiler,
+            node_factors=factors,
+            variability_threshold=variability_threshold,
+        )
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The execution engine decisions are made for."""
+        return self._engine
+
+    @property
+    def pipeline(self) -> DecisionPipeline:
+        """The staged decision pipeline (shared with other consumers)."""
+        return self._pipeline
 
     @property
     def knowledge(self) -> KnowledgeDB:
         """The knowledge database (shared, persistable)."""
-        return self._kb
+        return self._pipeline.knowledge
 
     @property
     def node_factors(self) -> np.ndarray:
         """Calibrated per-node power-efficiency factors."""
-        return self._factors.copy()
+        return self._pipeline.node_factors
 
     # ------------------------------------------------------------------
 
@@ -127,16 +99,7 @@ class ClipScheduler:
         Profiling is the 2-sample smart profile, plus — for non-linear
         classes — the NP prediction and the confirmation sample.
         """
-        if self._kb.has(app.name, app.problem_size):
-            return self._kb.get(app.name, app.problem_size)
-        profile = self._profiler.profile(app)
-        np_pred: int | None = None
-        if profile.scalability_class.is_nonlinear:
-            np_pred = self._inflection.predict(profile)
-            profile = self._profiler.confirm(app, profile, np_pred)
-        entry = KnowledgeEntry(profile=profile, inflection_point=np_pred)
-        self._kb.put(entry)
-        return entry
+        return self._pipeline.ensure_knowledge(app)
 
     def schedule(
         self,
@@ -146,55 +109,41 @@ class ClipScheduler:
         allocation_mode: str = "predictive",
     ) -> SchedulingDecision:
         """Run Algorithm 1 and return the decision (no execution)."""
-        if cluster_budget_w <= 0:
-            raise SchedulingError("cluster budget must be > 0")
-        entry = self.ensure_knowledge(app)
-        profile = entry.profile
-        predictor = PerformancePredictor(profile, entry.inflection_point)
-        power_model = ClipPowerModel(profile, self._engine.cluster.spec.node)
-        recommender = Recommender(profile, predictor, power_model)
-        allocator = ClusterAllocator(
-            recommender,
-            self._engine.cluster.n_nodes,
-            node_factors=self._factors,
-            variability_threshold=self._threshold,
-        )
-        allocation = allocator.allocate(
+        return self._pipeline.decide(
+            app,
             cluster_budget_w,
-            predefined=predefined_node_counts,
-            mode=allocation_mode,
+            predefined_node_counts=predefined_node_counts,
+            allocation_mode=allocation_mode,
         )
-        configs = []
-        base = recommender.recommend(min(allocation.node_budgets_w))
-        for budget in allocation.node_budgets_w:
-            # Keep concurrency uniform across ranks (one decomposition);
-            # each node spends its own budget on frequency headroom.
-            pkg, dram = power_model.split_node_budget(budget, base.n_threads)
-            f = power_model.max_freq_under(pkg, base.n_threads)
-            configs.append(
-                replace(
-                    base,
-                    pkg_cap_w=pkg,
-                    dram_cap_w=dram,
-                    predicted_frequency_hz=f if f is not None else base.predicted_frequency_hz,
-                )
-            )
-        # phase-by-phase concurrency adjustment (§V-B.1): a phase whose
-        # time did not improve from half- to all-core keeps the smaller
-        # count (only kept when below the global choice)
-        overrides = {
-            name: n
-            for name, n in recommender.phase_overrides().items()
-            if n < base.n_threads
-        }
-        return SchedulingDecision(
-            app_name=app.name,
-            cluster_budget_w=cluster_budget_w,
-            scalability_class=profile.scalability_class,
-            inflection_point=entry.inflection_point,
-            allocation=allocation,
-            node_configs=tuple(configs),
-            phase_threads=overrides,
+
+    def schedule_traced(
+        self,
+        app: WorkloadCharacteristics,
+        cluster_budget_w: float,
+        predefined_node_counts: tuple[int, ...] | None = None,
+        allocation_mode: str = "predictive",
+    ) -> tuple[SchedulingDecision, DecisionTrace]:
+        """Like :meth:`schedule`, plus the per-stage decision trace."""
+        return self._pipeline.decide_traced(
+            app,
+            cluster_budget_w,
+            predefined_node_counts=predefined_node_counts,
+            allocation_mode=allocation_mode,
+        )
+
+    def schedule_many(
+        self,
+        apps: list[WorkloadCharacteristics],
+        cluster_budget_w: float,
+        predefined_node_counts: tuple[int, ...] | None = None,
+        allocation_mode: str = "predictive",
+    ) -> list[SchedulingDecision]:
+        """Decide a batch of jobs under one budget on the shared caches."""
+        return self._pipeline.decide_many(
+            apps,
+            cluster_budget_w,
+            predefined_node_counts=predefined_node_counts,
+            allocation_mode=allocation_mode,
         )
 
     def run(

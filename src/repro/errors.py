@@ -20,6 +20,7 @@ __all__ = [
     "InfeasibleBudgetError",
     "SchedulingError",
     "KnowledgeBaseError",
+    "KnowledgeError",
 ]
 
 
@@ -74,3 +75,8 @@ class SchedulingError(ClipError):
 
 class KnowledgeBaseError(ClipError):
     """The knowledge database rejected an operation (missing entry, ...)."""
+
+
+#: Preferred alias for :class:`KnowledgeBaseError` (the persistence layer
+#: raises it for unreadable files and schema-version mismatches too).
+KnowledgeError = KnowledgeBaseError

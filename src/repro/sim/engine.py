@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.errors import SchedulingError
 from repro.hw.cluster import SimulatedCluster
-from repro.hw.counters import EventCounters, synthesize_counters
+from repro.hw.counters import synthesize_counters
 from repro.hw.numa import AffinityKind
 from repro.hw.power import PowerBreakdown
 from repro.sim.affinity import Placement, make_placement, placement_for

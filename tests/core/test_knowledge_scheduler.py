@@ -66,8 +66,45 @@ class TestKnowledgeDB:
     def test_load_rejects_wrong_version(self, tmp_path):
         bad = tmp_path / "v2.json"
         bad.write_text('{"version": 99, "entries": []}')
-        with pytest.raises(KnowledgeBaseError):
+        with pytest.raises(KnowledgeBaseError, match="schema version 99"):
             KnowledgeDB.load(bad)
+
+    def test_load_rejects_non_object_payload(self, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(KnowledgeBaseError, match="schema version"):
+            KnowledgeDB.load(bad)
+
+    def test_save_is_atomic_replace(self, tmp_path, profiler):
+        """Save replaces the target in one step and leaves no temp files."""
+        db = KnowledgeDB()
+        db.put(KnowledgeEntry(profile=profiler.profile(get_app("comd"))))
+        path = tmp_path / "kb.json"
+        path.write_text("PREVIOUS CONTENTS")
+        db.save(path)
+        assert len(KnowledgeDB.load(path)) == 1
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_failed_save_preserves_old_file(self, tmp_path, profiler, monkeypatch):
+        """A crash mid-serialization must not corrupt the existing DB."""
+        import json as json_module
+
+        db = KnowledgeDB()
+        db.put(KnowledgeEntry(profile=profiler.profile(get_app("comd"))))
+        path = tmp_path / "kb.json"
+        db.save(path)
+        good = path.read_text()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(json_module, "dump", boom)
+        with pytest.raises(RuntimeError):
+            db.save(path)
+        assert path.read_text() == good
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
 
 
 class TestClipScheduler:

@@ -55,6 +55,28 @@ class TestCommands:
         assert "mpirun" in out
         assert "predicted performance" in out
 
+    def test_schedule_json_mode(self, capsys):
+        import json
+
+        from repro.core.pipeline import SchedulingDecision
+
+        assert main(["schedule", "comd", "1400", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        decision = SchedulingDecision.from_dict(payload["decision"])
+        assert decision.app_name == "comd"
+        assert decision.cluster_budget_w == pytest.approx(1400.0)
+        assert decision.total_capped_w <= 1400.0 * (1 + 1e-9)
+        stages = [s["stage"] for s in payload["trace"]["stages"]]
+        assert stages == [
+            "profile",
+            "classify",
+            "inflection",
+            "fit_models",
+            "allocate",
+            "recommend",
+        ]
+        assert all(s["wall_time_s"] >= 0 for s in payload["trace"]["stages"])
+
     def test_run_executes(self, capsys):
         assert main(["run", "comd", "1400"]) == 0
         out = capsys.readouterr().out

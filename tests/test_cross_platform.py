@@ -19,7 +19,7 @@ from repro.core.scheduler import ClipScheduler
 from repro.hw.cluster import SimulatedCluster
 from repro.hw.specs import broadwell_node, broadwell_testbed
 from repro.sim.engine import ExecutionEngine
-from repro.workloads.apps import TABLE2_APPS, get_app
+from repro.workloads.apps import get_app
 from repro.workloads.suites import training_corpus
 
 

@@ -9,7 +9,7 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.hw.specs import haswell_node
-from repro.workloads.apps import EXTRA_APPS, TABLE2_APPS, all_apps, get_app
+from repro.workloads.apps import TABLE2_APPS, all_apps, get_app
 from repro.workloads.generator import SyntheticAppGenerator
 from repro.workloads.model import true_inflection_point, true_scalability_class
 from repro.workloads.suites import NAMED_TRAINING_APPS, training_corpus
