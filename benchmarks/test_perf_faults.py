@@ -1,0 +1,42 @@
+"""Build gate for the fault-tolerant runtime's budget invariants.
+
+Runs the canonical fault scenario (node failure + recovery + two
+budget swings over the 6-job demo queue) under both queue policies,
+records the measurements to ``BENCH_faults.json`` at the repository
+root, and **fails the build** if the budget-invariant monitor flagged
+any issued cap set.
+"""
+
+from bench_faults import run_faults_bench
+
+
+def test_fault_scenario_invariants(report):
+    payload = run_faults_bench()
+    policies = payload["policies"]
+
+    lines = [
+        "Fault-scenario drain — failure + recovery + two budget swings "
+        f"({len(payload['apps'])} jobs at {payload['budget_w']:.0f} W)",
+    ]
+    for name, p in policies.items():
+        mon = p["monitor"]
+        lines.append(
+            f"  {name:12s}: {p['jobs_drained']} jobs, "
+            f"{p['events_fired']} events fired, "
+            f"makespan {p['faulted_makespan_s']:.0f} s "
+            f"(clean {p['clean_makespan_s']:.0f} s), "
+            f"{mon['n_violations']} violation(s) / {mon['n_audits']} audits"
+        )
+    report("perf_faults", "\n".join(lines))
+
+    for name, p in policies.items():
+        # every job drains despite the faults, under either policy
+        # (the coscheduled queue is doubled to span several batches)
+        assert p["jobs_drained"] % len(payload["apps"]) == 0, name
+        assert p["jobs_drained"] >= len(payload["apps"]), name
+        # the scenario actually exercised the fault path
+        assert p["events_fired"] >= 2, name
+        assert p["monitor"]["n_audits"] > 0, name
+        # the hard gate: no issued cap set may break the invariants
+        assert p["monitor"]["n_violations"] == 0, p["monitor"]["violations"]
+    assert payload["total_violations"] == 0

@@ -9,7 +9,10 @@ Subcommands mirror the framework's helper tools (§IV-B):
   (and launch script); ``--json`` emits the serialized decision plus
   per-stage pipeline timings instead;
 * ``run``       — schedule *and* execute on the simulated testbed;
-* ``compare``   — the four-method comparison at one budget.
+* ``compare``   — the four-method comparison at one budget;
+* ``faults``    — drain a queue through a scripted fault scenario
+  (node failure + recovery + budget swings) and print the
+  budget-invariant audit.
 
 All commands operate on the simulated 8-node Haswell testbed.
 """
@@ -81,6 +84,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("budget", type=float)
     p.add_argument(
         "--apps", nargs="*", default=None, help="subset of application names"
+    )
+
+    p = sub.add_parser(
+        "faults",
+        help="drain a job queue through a scripted fault scenario",
+    )
+    p.add_argument(
+        "--policy",
+        choices=("sequential", "coscheduled"),
+        default="sequential",
+        help="queue policy to drain under faults",
+    )
+    p.add_argument(
+        "--budget", type=float, default=1600.0,
+        help="initial cluster power budget (W, default 1600)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=5,
+        help="iterations per job (default 5, keeps the demo fast)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the queue report and monitor audit as JSON",
     )
 
     p = sub.add_parser(
@@ -198,6 +225,116 @@ def cmd_compare(args) -> int:
     return 0
 
 
+#: The demo queue: six jobs, two of them repeat submissions.
+FAULT_DEMO_APPS = ("comd", "sp-mz.C", "stream", "bt-mz.C", "comd", "stream")
+
+
+def demo_fault_events(makespan_s: float, budget_w: float):
+    """The canonical fault scenario, anchored to a clean-drain makespan.
+
+    Node 2 fails early, the budget drops to 70% mid-drain, the node
+    comes back, and the budget is restored — one failure, one recovery,
+    two budget swings, all guaranteed to fire while jobs remain.
+    """
+    from repro.sim.faults import FaultEvent
+
+    return [
+        FaultEvent(at_s=0.15 * makespan_s, action="fail_node", node_id=2),
+        FaultEvent(
+            at_s=0.30 * makespan_s, action="set_budget",
+            budget_w=0.7 * budget_w,
+        ),
+        FaultEvent(at_s=0.55 * makespan_s, action="recover_node", node_id=2),
+        FaultEvent(
+            at_s=0.70 * makespan_s, action="set_budget", budget_w=budget_w
+        ),
+    ]
+
+
+def cmd_faults(args) -> int:
+    from repro.core.jobqueue import PowerBoundedJobQueue
+    from repro.sim.faults import FaultInjector
+
+    engine = _engine(args.seed)
+    clip = _scheduler(engine)
+    queue = PowerBoundedJobQueue(clip)
+    apps = [get_app(n) for n in FAULT_DEMO_APPS]
+    if args.policy == "coscheduled":
+        # co-scheduled batches are atomic — faults apply at batch
+        # boundaries — so double the queue to span several batches
+        apps = apps * 2
+
+    print("Calibrating: clean drain to anchor the fault timeline...",
+          file=sys.stderr)
+    clean = queue.drain(
+        apps, args.budget, policy=args.policy, iterations=args.iterations
+    )
+    events = demo_fault_events(clean.makespan_s, args.budget)
+    injector = FaultInjector(engine.cluster, events, budget_w=args.budget)
+    clip.monitor.reset()
+    report = queue.drain(
+        apps,
+        args.budget,
+        policy=args.policy,
+        iterations=args.iterations,
+        faults=injector,
+    )
+    audit = clip.monitor.report()
+
+    if args.json:
+        payload = {
+            "policy": report.policy,
+            "events": [e.describe() for e in injector.fired],
+            "jobs": [
+                {
+                    "app_name": j.app_name,
+                    "started_at_s": j.started_at_s,
+                    "finished_at_s": j.finished_at_s,
+                    "n_nodes": j.n_nodes,
+                    "n_threads": j.n_threads,
+                    "batch": j.batch,
+                }
+                for j in report.jobs
+            ],
+            "makespan_s": report.makespan_s,
+            "clean_makespan_s": clean.makespan_s,
+            "monitor": audit,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print("Fault timeline:")
+        for e in injector.fired:
+            print(f"  {e.describe()}")
+        rows = [
+            [
+                j.app_name,
+                f"{j.started_at_s:.1f}",
+                f"{j.finished_at_s:.1f}",
+                j.n_nodes,
+                j.n_threads,
+                j.batch,
+            ]
+            for j in sorted(report.jobs, key=lambda j: j.started_at_s)
+        ]
+        print(
+            render_table(
+                ["job", "start (s)", "finish (s)", "nodes", "threads", "batch"],
+                rows,
+                title=f"Faulted drain ({report.policy}) at {args.budget:.0f} W",
+            )
+        )
+        print(
+            f"makespan: {report.makespan_s:.1f} s "
+            f"(clean: {clean.makespan_s:.1f} s)"
+        )
+        print(
+            f"invariant audit: {audit['n_violations']} violation(s) across "
+            f"{audit['n_audits']} cap sets "
+            f"({', '.join(f'{k}: {v}' for k, v in sorted(audit['audits_by_source'].items()))})"
+        )
+    return 1 if audit["n_violations"] else 0
+
+
 def cmd_report(args) -> int:
     from repro.analysis.report import assemble_report
 
@@ -215,6 +352,7 @@ def main(argv: list[str] | None = None) -> int:
         "schedule": cmd_schedule,
         "run": cmd_run,
         "compare": cmd_compare,
+        "faults": cmd_faults,
         "report": cmd_report,
     }[args.command]
     try:

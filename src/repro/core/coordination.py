@@ -57,12 +57,16 @@ def measure_node_factors(engine: ExecutionEngine, n_threads: int | None = None) 
     The default uses half the cores: an all-core compute kernel sits at
     the factory power limit, where inefficient parts silently throttle
     and the power signal collapses to the cap value.
+
+    Nodes currently marked failed are skipped and carry a neutral
+    factor of 1.0 (they cannot participate in runs anyway); the
+    normalization uses only the measured survivors.
     """
     cluster = engine.cluster
     node_spec = cluster.spec.node
     n_threads = n_threads or node_spec.n_cores // 2
-    powers = np.empty(cluster.n_nodes)
-    for i in range(cluster.n_nodes):
+    powers = np.full(cluster.n_nodes, np.nan)
+    for i in cluster.available_node_ids:
         result = engine.run(
             _CALIBRATION_APP,
             ExecutionConfig(
@@ -74,7 +78,12 @@ def measure_node_factors(engine: ExecutionEngine, n_threads: int | None = None) 
         )
         rec = result.nodes[0]
         powers[i] = rec.operating_point.pkg_power_w + rec.operating_point.dram_power_w
-    return powers / powers.mean()
+    measured = powers[~np.isnan(powers)]
+    if measured.size == 0:
+        raise SchedulingError("cannot calibrate: every node is failed")
+    factors = powers / measured.mean()
+    factors[np.isnan(factors)] = 1.0
+    return factors
 
 
 def coordinate_power(
@@ -129,7 +138,18 @@ def coordinate_power(
     # nominal part to sustain the same frequency.  Clamp into the
     # acceptable range and hand clipped surplus back proportionally.
     budgets = np.clip(total_budget_w * factors / factors.sum(), lo_w, hi_w)
-    surplus = total_budget_w - budgets.sum()
+    deficit = budgets.sum() - total_budget_w
+    if deficit > 1e-9:
+        # Clamping weak nodes up to lo_w pushed the sum past the
+        # budget; take the overage back from nodes above the floor,
+        # proportionally to their headroom.  The feasibility guard
+        # above guarantees sum(room) = sum - n*lo >= deficit, so one
+        # proportional pass lands exactly on the budget without
+        # dropping anyone below lo_w.
+        room = budgets - lo_w
+        budgets = budgets - deficit * room / room.sum()
+        return np.clip(budgets, lo_w, hi_w)
+    surplus = -deficit
     for _ in range(8):
         if surplus <= 1e-9:
             break

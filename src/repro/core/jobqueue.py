@@ -16,11 +16,19 @@ policies:
 Both policies reuse the shared knowledge database, so repeated
 submissions of a known application skip profiling — the workflow the
 knowledge DB exists for.
+
+Both policies also accept a :class:`~repro.sim.faults.FaultInjector`:
+the drain loop polls it between jobs (sequential) or batches
+(coscheduled), so node failures, recoveries, degradations, and budget
+swings that fire mid-drain reshape every *subsequent* placement — jobs
+land only on surviving nodes, under the budget in force at their start
+time.  Every decision is audited on the scheduler's shared
+:class:`~repro.core.monitor.BudgetInvariantMonitor`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.multijob import MultiJobCoordinator
 from repro.core.scheduler import ClipScheduler
@@ -88,19 +96,26 @@ class PowerBoundedJobQueue:
         cluster_budget_w: float,
         policy: str = "sequential",
         iterations: int | None = None,
+        faults=None,
     ) -> QueueReport:
         """Execute every job and return the accounting report.
 
         All jobs are treated as submitted at t=0 (a burst arrival); the
         per-job records still separate wait from run time so policies
-        can be compared on turnaround.
+        can be compared on turnaround.  ``faults`` optionally supplies
+        a :class:`~repro.sim.faults.FaultInjector` whose due events are
+        applied at every job/batch boundary.
         """
         if not apps:
             raise SchedulingError("queue is empty")
         if policy == "sequential":
-            jobs = self._drain_sequential(apps, cluster_budget_w, iterations)
+            jobs = self._drain_sequential(
+                apps, cluster_budget_w, iterations, faults
+            )
         elif policy == "coscheduled":
-            jobs = self._drain_coscheduled(apps, cluster_budget_w, iterations)
+            jobs = self._drain_coscheduled(
+                apps, cluster_budget_w, iterations, faults
+            )
         else:
             raise SchedulingError(f"unknown queue policy {policy!r}")
         return QueueReport(
@@ -112,17 +127,50 @@ class PowerBoundedJobQueue:
 
     # ------------------------------------------------------------------
 
-    def _drain_sequential(self, apps, budget, iterations):
+    def _poll_faults(self, faults, now, budget):
+        """Apply due fault events; return (current budget, node pool)."""
+        cluster = self._scheduler.engine.cluster
+        if faults is None:
+            return budget, tuple(range(cluster.n_nodes))
+        faults.advance_to(now)
+        current = faults.budget_w if faults.budget_w is not None else budget
+        return current, cluster.available_node_ids
+
+    def _drain_sequential(self, apps, budget, iterations, faults=None):
         now = 0.0
         out = []
-        # one batched pipeline pass: duplicate submissions of a known
-        # application share a single decision (and model bundle)
-        decisions = self._scheduler.schedule_many(apps, budget)
         engine = self._scheduler.engine
-        for i, (app, decision) in enumerate(zip(apps, decisions)):
-            result = engine.run(
-                app, decision.to_execution_config(iterations=iterations)
-            )
+        if faults is None:
+            # one batched pipeline pass: duplicate submissions of a
+            # known application share a single decision (and bundle)
+            decisions = self._scheduler.schedule_many(apps, budget)
+        for i, app in enumerate(apps):
+            if faults is None:
+                decision = decisions[i]
+                config = decision.to_execution_config(iterations=iterations)
+            else:
+                # decide just-in-time: the budget and the set of live
+                # nodes are whatever the fault script left in force
+                budget_now, pool = self._poll_faults(faults, now, budget)
+                decision = self._scheduler.schedule(
+                    app,
+                    budget_now,
+                    predefined_node_counts=tuple(range(1, len(pool) + 1)),
+                )
+                config = replace(
+                    decision.to_execution_config(iterations=iterations),
+                    node_ids=pool[: decision.n_nodes],
+                )
+                self._scheduler.pipeline.monitor.audit(
+                    "jobqueue.sequential",
+                    app.name,
+                    budget_now,
+                    tuple(
+                        (c.pkg_cap_w, c.dram_cap_w)
+                        for c in decision.node_configs
+                    ),
+                )
+            result = engine.run(app, config)
             out.append(
                 CompletedJob(
                     app_name=app.name,
@@ -139,14 +187,17 @@ class PowerBoundedJobQueue:
             now += result.total_time_s
         return out
 
-    def _drain_coscheduled(self, apps, budget, iterations):
+    def _drain_coscheduled(self, apps, budget, iterations, faults=None):
         now = 0.0
         out = []
         pending = list(apps)
         batch_id = 0
         while pending:
-            batch = self._take_batch(pending, budget)
-            results = self._coordinator.run(batch, budget, iterations=iterations)
+            budget_now, pool = self._poll_faults(faults, now, budget)
+            batch = self._take_batch(pending, budget_now, pool)
+            results = self._coordinator.run(
+                batch, budget_now, iterations=iterations, node_ids=pool
+            )
             batch_time = max(r.total_time_s for _, r in results)
             for placement, result in results:
                 out.append(
@@ -166,15 +217,15 @@ class PowerBoundedJobQueue:
             batch_id += 1
         return out
 
-    def _take_batch(self, pending, budget):
+    def _take_batch(self, pending, budget, pool):
         """Pop the largest feasible head-of-queue batch (FIFO order)."""
         batch = [pending.pop(0)]
         while pending:
             candidate = batch + [pending[0]]
-            if len(candidate) > self._scheduler.engine.cluster.n_nodes:
+            if len(candidate) > len(pool):
                 break
             try:
-                self._coordinator.partition(candidate, budget)
+                self._coordinator.partition(candidate, budget, node_ids=pool)
             except (InfeasibleBudgetError, SchedulingError):
                 break
             batch.append(pending.pop(0))

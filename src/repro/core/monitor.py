@@ -1,0 +1,174 @@
+"""Cluster-wide budget-invariant auditing.
+
+A power-bounded system has one non-negotiable contract: the sum of the
+caps it programs never exceeds the cluster budget, and every node's cap
+stays inside the application's acceptable power range (§III-B.1's
+:math:`[L2, L1]`).  The scheduler, the multi-job coordinator, the job
+queue, and the §VII runtime all *intend* to honour that contract, but
+each computes caps on its own path — re-coordination after a budget
+swing, a shrink onto surviving nodes, a co-scheduled batch — and a bug
+on any path silently hands out watts the facility does not have.
+
+:class:`BudgetInvariantMonitor` closes the loop: every issued cap set
+is audited at the moment it is committed, and the audit trail is a
+first-class artifact (JSON-safe, CI-checkable).  The monitor is shared
+through :class:`~repro.core.pipeline.DecisionPipeline`, so every
+consumer of the pipeline reports to the same ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetInvariantError
+
+__all__ = ["CapAudit", "BudgetInvariantMonitor"]
+
+#: Absolute slack (watts) granted to floating-point cap arithmetic.
+AUDIT_TOLERANCE_W = 1e-6
+
+
+@dataclass(frozen=True)
+class CapAudit:
+    """One audited cap set: who issued what against which budget."""
+
+    source: str
+    app_name: str
+    cluster_budget_w: float
+    caps: tuple[tuple[float, float], ...]
+    node_lo_w: float | None
+    node_hi_w: float | None
+    violations: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cap set satisfied every checked invariant."""
+        return not self.violations
+
+    @property
+    def total_capped_w(self) -> float:
+        """Sum of all per-node (PKG + DRAM) caps in the set."""
+        return float(sum(pkg + dram for pkg, dram in self.caps))
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "source": self.source,
+            "app_name": self.app_name,
+            "cluster_budget_w": self.cluster_budget_w,
+            "total_capped_w": self.total_capped_w,
+            "n_nodes": len(self.caps),
+            "node_lo_w": self.node_lo_w,
+            "node_hi_w": self.node_hi_w,
+            "ok": self.ok,
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class BudgetInvariantMonitor:
+    """Audits every issued cap set against the cluster power contract.
+
+    The monitor is append-only: :meth:`audit` records the outcome and
+    returns it, never raising, so enforcement paths stay hot;
+    :meth:`assert_clean` is the strict checkpoint for tests, CI, and
+    drain loops that must prove zero violations.
+    """
+
+    audits: list[CapAudit] = field(default_factory=list)
+
+    def audit(
+        self,
+        source: str,
+        app_name: str,
+        cluster_budget_w: float,
+        caps: tuple[tuple[float, float], ...],
+        node_lo_w: float | None = None,
+        node_hi_w: float | None = None,
+        tolerance_w: float = AUDIT_TOLERANCE_W,
+    ) -> CapAudit:
+        """Record one issued cap set and check the invariants.
+
+        Checks: the summed (PKG + DRAM) caps stay at or under
+        ``cluster_budget_w``; when the acceptable range is supplied,
+        every node's total cap sits in ``[node_lo_w, node_hi_w]``.
+        Range checks use a relative tolerance on top of *tolerance_w*
+        so legitimate float round-off never flags.
+        """
+        violations: list[str] = []
+        total = float(sum(pkg + dram for pkg, dram in caps))
+        slack = tolerance_w + 1e-9 * max(abs(cluster_budget_w), 1.0)
+        if total > cluster_budget_w + slack:
+            violations.append(
+                f"sum of caps {total:.3f} W exceeds cluster budget "
+                f"{cluster_budget_w:.3f} W"
+            )
+        for rank, (pkg, dram) in enumerate(caps):
+            node_total = pkg + dram
+            if pkg < -tolerance_w or dram < -tolerance_w:
+                violations.append(
+                    f"node {rank}: negative cap ({pkg:.3f}, {dram:.3f}) W"
+                )
+            if node_lo_w is not None and node_total < node_lo_w - slack:
+                violations.append(
+                    f"node {rank}: cap {node_total:.3f} W below the "
+                    f"acceptable floor {node_lo_w:.3f} W"
+                )
+            if node_hi_w is not None and node_total > node_hi_w + slack:
+                violations.append(
+                    f"node {rank}: cap {node_total:.3f} W above the "
+                    f"acceptable ceiling {node_hi_w:.3f} W"
+                )
+        audit = CapAudit(
+            source=source,
+            app_name=app_name,
+            cluster_budget_w=cluster_budget_w,
+            caps=tuple((float(p), float(d)) for p, d in caps),
+            node_lo_w=node_lo_w,
+            node_hi_w=node_hi_w,
+            violations=tuple(violations),
+        )
+        self.audits.append(audit)
+        return audit
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_audits(self) -> int:
+        """Total cap sets recorded so far."""
+        return len(self.audits)
+
+    @property
+    def n_violations(self) -> int:
+        """Number of recorded cap sets that broke an invariant."""
+        return sum(1 for a in self.audits if not a.ok)
+
+    def violations(self) -> list[CapAudit]:
+        """The failed audits, in issue order."""
+        return [a for a in self.audits if not a.ok]
+
+    def assert_clean(self) -> None:
+        """Raise :class:`BudgetInvariantError` if any audit failed."""
+        bad = self.violations()
+        if bad:
+            first = bad[0]
+            raise BudgetInvariantError(
+                f"{len(bad)}/{self.n_audits} cap sets violated the power "
+                f"contract; first: [{first.source}] {first.violations[0]}"
+            )
+
+    def reset(self) -> None:
+        """Clear the audit trail (between independent scenarios)."""
+        self.audits.clear()
+
+    def report(self) -> dict:
+        """JSON-safe summary: counts per source plus any violations."""
+        per_source: dict[str, int] = {}
+        for a in self.audits:
+            per_source[a.source] = per_source.get(a.source, 0) + 1
+        return {
+            "n_audits": self.n_audits,
+            "n_violations": self.n_violations,
+            "audits_by_source": per_source,
+            "violations": [a.to_dict() for a in self.violations()],
+        }

@@ -105,18 +105,27 @@ class MultiJobCoordinator:
         self,
         apps: list[WorkloadCharacteristics],
         total_budget_w: float,
+        node_ids: tuple[int, ...] | None = None,
     ) -> list[JobPlacement]:
         """Split nodes and power across *apps*.
 
-        Raises :class:`InfeasibleBudgetError` if the budget (or node
-        count) cannot give every job its minimal feasible allocation.
+        ``node_ids`` restricts the placement to a pool of nodes (e.g.
+        the survivors after a failure); it defaults to the whole
+        cluster.  Raises :class:`InfeasibleBudgetError` if the budget
+        (or node count) cannot give every job its minimal feasible
+        allocation.
         """
         if not apps:
             raise SchedulingError("need at least one job")
         cluster = self._engine.cluster
-        if len(apps) > cluster.n_nodes:
+        pool = (
+            tuple(node_ids)
+            if node_ids is not None
+            else tuple(range(cluster.n_nodes))
+        )
+        if len(apps) > len(pool):
             raise SchedulingError(
-                f"{len(apps)} jobs exceed the {cluster.n_nodes}-node cluster"
+                f"{len(apps)} jobs exceed the {len(pool)}-node pool"
             )
         # the shared pipeline caches the fitted model bundle per entry,
         # so repeated partitions of the same jobs fit nothing new
@@ -131,7 +140,7 @@ class MultiJobCoordinator:
                 f"budget {total_budget_w:.0f} W below the jobs' combined "
                 f"floor {spent:.0f} W"
             )
-        free_nodes = cluster.n_nodes - len(states)
+        free_nodes = len(pool) - len(states)
         free_power = total_budget_w - spent
 
         # Marginal-utility greedy over (grant node | grant power) moves.
@@ -170,13 +179,13 @@ class MultiJobCoordinator:
                 s.budget += amount
                 free_power -= amount
 
-        # materialize placements on disjoint node ids
+        # materialize placements on disjoint node ids from the pool
         placements: list[JobPlacement] = []
         next_node = 0
         for s in states:
             per_node = min(s.budget / s.n_nodes, s.hi_per_node)
             cfg = s.rec.recommend(per_node)
-            ids = tuple(range(next_node, next_node + s.n_nodes))
+            ids = pool[next_node : next_node + s.n_nodes]
             next_node += s.n_nodes
             placements.append(
                 JobPlacement(
@@ -193,11 +202,30 @@ class MultiJobCoordinator:
         apps: list[WorkloadCharacteristics],
         total_budget_w: float,
         iterations: int | None = None,
+        node_ids: tuple[int, ...] | None = None,
     ) -> list[tuple[JobPlacement, RunResult]]:
-        """Partition and execute every job on its node set."""
-        placements = self.partition(apps, total_budget_w)
-        by_name = {a.name: a for a in apps}
-        return [
-            (p, self._engine.run(by_name[p.app_name], p.to_execution_config(iterations)))
+        """Partition and execute every job on its node set.
+
+        Placements are paired with apps by *index* — partition order
+        matches submission order — so two distinct workloads sharing a
+        name (the same kernel at different problem sizes) each run
+        their own characteristics.  The batch's combined cap set is
+        audited against the budget on the shared monitor.
+        """
+        placements = self.partition(apps, total_budget_w, node_ids=node_ids)
+        monitor = self._scheduler.pipeline.monitor
+        batch_caps = tuple(
+            (p.config.pkg_cap_w, p.config.dram_cap_w)
             for p in placements
+            for _ in range(p.n_nodes)
+        )
+        monitor.audit(
+            "multijob.batch",
+            "+".join(p.app_name for p in placements),
+            total_budget_w,
+            batch_caps,
+        )
+        return [
+            (p, self._engine.run(apps[i], p.to_execution_config(iterations)))
+            for i, p in enumerate(placements)
         ]

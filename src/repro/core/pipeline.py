@@ -46,6 +46,7 @@ from repro.core.classify import ScalabilityClass
 from repro.core.coordination import VARIABILITY_THRESHOLD, measure_node_factors
 from repro.core.inflection import InflectionPredictor
 from repro.core.knowledge import KnowledgeDB, KnowledgeEntry
+from repro.core.monitor import BudgetInvariantMonitor
 from repro.core.perfmodel import PerformancePredictor
 from repro.core.powermodel import ClipPowerModel
 from repro.core.profile import AppProfile, SmartProfiler
@@ -594,10 +595,12 @@ class DecisionPipeline:
         profiler: SmartProfiler | None = None,
         node_factors: np.ndarray | None = None,
         variability_threshold: float = VARIABILITY_THRESHOLD,
+        monitor: BudgetInvariantMonitor | None = None,
     ):
         self._engine = engine
         self._kb = knowledge if knowledge is not None else KnowledgeDB()
         self._profiler = profiler or SmartProfiler(engine)
+        self._monitor = monitor if monitor is not None else BudgetInvariantMonitor()
         self._inflection = inflection
         self._factors = (
             np.asarray(node_factors, dtype=np.float64)
@@ -636,6 +639,11 @@ class DecisionPipeline:
     def bundle_cache(self) -> ModelBundleCache:
         """The shared fitted-model cache."""
         return self._bundles
+
+    @property
+    def monitor(self) -> BudgetInvariantMonitor:
+        """The shared budget-invariant auditor (one ledger per pipeline)."""
+        return self._monitor
 
     @property
     def node_factors(self) -> np.ndarray:
@@ -753,7 +761,47 @@ class DecisionPipeline:
         ctx = self._run_stage(self._model_stage, ctx, trace)
         for stage in self._decision_stages:
             ctx = self._run_stage(stage, ctx, trace)
+        self._audit_decision(ctx, trace)
         return ctx.decision, trace
+
+    def _audit_decision(
+        self, ctx: DecisionContext, trace: DecisionTrace | None
+    ) -> None:
+        """Audit the issued cap set; record the enforcement event.
+
+        The floor/ceiling come from the power model at the decision's
+        actual concurrency (the allocator may have reasoned at another
+        one), with the DRAM cap margin folded into the ceiling — see
+        :meth:`~repro.core.powermodel.ClipPowerModel.cap_ceiling_w`.
+        """
+        decision = ctx.decision
+        power = ctx.bundle.power_model
+        rng = power.power_range(decision.n_threads)
+        start = time.perf_counter()
+        audit = self._monitor.audit(
+            "pipeline",
+            decision.app_name,
+            decision.cluster_budget_w,
+            tuple((c.pkg_cap_w, c.dram_cap_w) for c in decision.node_configs),
+            node_lo_w=rng.node_lo_w,
+            node_hi_w=power.cap_ceiling_w(decision.n_threads),
+        )
+        if trace is not None:
+            trace.record(
+                StageRecord(
+                    stage="audit",
+                    wall_time_s=time.perf_counter() - start,
+                    inputs={
+                        "app_name": decision.app_name,
+                        "cluster_budget_w": decision.cluster_budget_w,
+                    },
+                    outputs={
+                        "ok": audit.ok,
+                        "total_capped_w": audit.total_capped_w,
+                        "violations": list(audit.violations),
+                    },
+                )
+            )
 
     def decide_many(
         self,

@@ -282,3 +282,15 @@ class ClipPowerModel:
         dram = min(dram, node_budget_w - rng.cpu_lo_w)
         pkg = min(node_budget_w - dram, rng.cpu_hi_w)
         return float(pkg), float(dram)
+
+    def cap_ceiling_w(self, n_threads: int) -> float:
+        """Highest defensible (PKG + DRAM) cap total at a concurrency.
+
+        :meth:`split_node_budget` deliberately over-provisions the DRAM
+        cap (it is a ceiling, not a draw), so an issued cap set may sit
+        above the acceptable range's ``node_hi_w`` by the DRAM margin.
+        Budget-invariant audits use this value as the per-node ceiling:
+        anything above it cannot come from a well-formed split.
+        """
+        rng = self.power_range(n_threads)
+        return rng.cpu_hi_w + rng.mem_hi_w * DRAM_CAP_MARGIN * DRAM_FLOOR_HEADROOM

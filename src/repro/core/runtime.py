@@ -16,21 +16,41 @@ runtime system, built on the same fitted models:
   the caller allows it — re-throttles concurrency when the budget drops
   below the acceptable range of the pinned thread count.
 
-The runtime also re-coordinates after a node degradation event
-(:meth:`SimulatedCluster.degrade_node`), re-measuring node factors so
-the weakened part receives compensating power.
+Re-coordination is **transactional**: the new thread count and cap set
+are computed and validated in full before any job field changes, so a
+rejected budget (:class:`~repro.errors.InfeasibleBudgetError`) leaves
+the job exactly as it was — caps, budget, and concurrency stay
+mutually consistent.
+
+The runtime is also the failure domain for its jobs.  When a node
+fails (:meth:`PowerBoundedRuntime.fail_node`), every affected job
+either *shrinks* onto its surviving nodes — its fixed budget re-split
+over fewer parts, allowed only when the job was launched with
+``allow_shrink`` — or is *parked* with a typed reason; parked jobs
+reject :meth:`~PowerBoundedRuntime.advance` with
+:class:`~repro.errors.NodeFailureError` until
+:meth:`~PowerBoundedRuntime.recover_node` brings their nodes back.
+Every cap set the runtime commits is audited by the shared
+:class:`~repro.core.monitor.BudgetInvariantMonitor`.
+
+The runtime re-coordinates after a node degradation event
+(:meth:`SimulatedCluster.degrade_node`) as well, re-measuring node
+factors so the weakened part receives compensating power.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.coordination import coordinate_power, measure_node_factors
+from repro.core.monitor import BudgetInvariantMonitor
 from repro.core.recommend import Recommender
 from repro.core.scheduler import ClipScheduler
-from repro.errors import InfeasibleBudgetError, SchedulingError
+from repro.errors import (
+    InfeasibleBudgetError,
+    NodeFailureError,
+    SchedulingError,
+)
 from repro.sim.engine import ExecutionConfig
 from repro.workloads.characteristics import WorkloadCharacteristics
 
@@ -51,7 +71,14 @@ class SegmentRecord:
 
 @dataclass
 class RunningJob:
-    """A job mid-execution under the runtime's control."""
+    """A job mid-execution under the runtime's control.
+
+    ``node_ids`` starts as the launch decomposition and only changes if
+    a node failure shrinks the job (``allow_shrink``); ``parked`` marks
+    a job sidelined by a failure it could not absorb — the runtime
+    refuses to advance it until recovery, recording why in
+    ``park_reason``.
+    """
 
     app: WorkloadCharacteristics
     n_nodes: int
@@ -61,6 +88,9 @@ class RunningJob:
     per_node_caps: tuple[tuple[float, float], ...]
     remaining_iterations: int
     allow_concurrency_change: bool = False
+    allow_shrink: bool = False
+    parked: bool = False
+    park_reason: str | None = None
     segments: list[SegmentRecord] = field(default_factory=list)
 
     @property
@@ -92,11 +122,22 @@ class PowerBoundedRuntime:
         self._scheduler = scheduler
         self._engine = scheduler.engine
         self._factors = scheduler.node_factors
+        self._jobs: list[RunningJob] = []
 
     @property
     def scheduler(self) -> ClipScheduler:
         """The CLIP scheduler whose models the runtime reuses."""
         return self._scheduler
+
+    @property
+    def monitor(self) -> BudgetInvariantMonitor:
+        """The shared budget-invariant auditor (the pipeline's ledger)."""
+        return self._scheduler.pipeline.monitor
+
+    @property
+    def jobs(self) -> tuple[RunningJob, ...]:
+        """Every job launched through this runtime, in launch order."""
+        return tuple(self._jobs)
 
     # ------------------------------------------------------------------
 
@@ -111,17 +152,27 @@ class PowerBoundedRuntime:
         n_nodes: int,
         n_threads: int | None = None,
         allow_concurrency_change: bool = False,
+        allow_shrink: bool = False,
     ) -> RunningJob:
         """Admit a job with a predefined decomposition.
 
         ``n_nodes`` is fixed for the job's lifetime (the MPI
         decomposition); ``n_threads`` defaults to the class rule's
         unbounded choice and is only revisited later if
-        ``allow_concurrency_change`` is set.
+        ``allow_concurrency_change`` is set.  ``allow_shrink`` permits
+        the runtime to re-split the job onto surviving nodes after a
+        node failure instead of parking it.
         """
-        if not 1 <= n_nodes <= self._engine.cluster.n_nodes:
+        cluster = self._engine.cluster
+        if not 1 <= n_nodes <= cluster.n_nodes:
             raise SchedulingError(
-                f"n_nodes {n_nodes} outside [1, {self._engine.cluster.n_nodes}]"
+                f"n_nodes {n_nodes} outside [1, {cluster.n_nodes}]"
+            )
+        node_ids = cluster.available_node_ids[:n_nodes]
+        if len(node_ids) < n_nodes:
+            raise NodeFailureError(
+                f"{n_nodes} nodes requested but only "
+                f"{cluster.n_available} are in service"
             )
         recommender = self._models(app)
         if n_threads is None:
@@ -130,21 +181,31 @@ class PowerBoundedRuntime:
             app=app,
             n_nodes=n_nodes,
             n_threads=n_threads,
-            node_ids=tuple(range(n_nodes)),
+            node_ids=node_ids,
             budget_w=budget_w,
             per_node_caps=(),
             remaining_iterations=app.iterations,
             allow_concurrency_change=allow_concurrency_change,
+            allow_shrink=allow_shrink,
         )
         self._recoordinate(job, recommender)
+        self._jobs.append(job)
         return job
 
     def update_budget(self, job: RunningJob, new_budget_w: float) -> None:
-        """React to a cluster budget change between segments."""
+        """React to a cluster budget change between segments.
+
+        Atomic: the new cap set is planned and validated before any job
+        field changes, so a raised :class:`InfeasibleBudgetError`
+        leaves the job bit-identical to its pre-call state.
+        """
         if new_budget_w <= 0:
             raise SchedulingError("budget must be > 0")
-        job.budget_w = new_budget_w
-        self._recoordinate(job, self._models(job.app))
+        if job.parked:
+            raise NodeFailureError(
+                f"cannot re-budget a parked job ({job.park_reason})"
+            )
+        self._recoordinate(job, self._models(job.app), budget_w=new_budget_w)
 
     def recalibrate(self) -> None:
         """Re-measure node power factors (after degradation events)."""
@@ -152,36 +213,153 @@ class PowerBoundedRuntime:
         # note: running jobs pick the new factors up at their next
         # budget update / re-coordination
 
-    def _recoordinate(self, job: RunningJob, recommender: Recommender) -> None:
-        """Re-split the job's budget over its fixed decomposition."""
+    # -- transactional re-coordination ----------------------------------
+
+    def _plan(
+        self,
+        job: RunningJob,
+        recommender: Recommender,
+        budget_w: float,
+        node_ids: tuple[int, ...],
+    ) -> tuple[int, tuple[tuple[float, float], ...], float, float]:
+        """Compute a full candidate cap set without touching the job.
+
+        Returns ``(n_threads, per_node_caps, lo_w, hi_w)`` or raises
+        :class:`InfeasibleBudgetError`; the caller commits atomically.
+        """
         power = recommender.power_model
-        rng = power.power_range(job.n_threads)
+        n_nodes = len(node_ids)
+        n_threads = job.n_threads
+        rng = power.power_range(n_threads)
         lo, hi = rng.node_lo_w, rng.node_hi_w
-        if job.budget_w < job.n_nodes * lo:
+        if budget_w < n_nodes * lo:
             if not job.allow_concurrency_change:
                 raise InfeasibleBudgetError(
-                    f"budget {job.budget_w:.0f} W below the {job.n_nodes}-node "
-                    f"floor at the pinned concurrency {job.n_threads}"
+                    f"budget {budget_w:.0f} W below the {n_nodes}-node "
+                    f"floor at the pinned concurrency {n_threads}"
                 )
             # re-recommend threads for the reduced per-node share
-            cfg = recommender.recommend(job.budget_w / job.n_nodes)
-            job.n_threads = cfg.n_threads
-            rng = power.power_range(job.n_threads)
+            cfg = recommender.recommend(budget_w / n_nodes)
+            n_threads = cfg.n_threads
+            rng = power.power_range(n_threads)
             lo, hi = rng.node_lo_w, rng.node_hi_w
-        factors = self._factors[list(job.node_ids)]
+        factors = self._factors[list(node_ids)]
         budgets = coordinate_power(
-            min(job.budget_w, job.n_nodes * hi), factors, lo_w=lo, hi_w=hi
+            min(budget_w, n_nodes * hi), factors, lo_w=lo, hi_w=hi
         )
-        caps = []
-        for b in budgets:
-            pkg, dram = power.split_node_budget(float(b), job.n_threads)
-            caps.append((pkg, dram))
-        job.per_node_caps = tuple(caps)
+        caps = tuple(
+            power.split_node_budget(float(b), n_threads) for b in budgets
+        )
+        return n_threads, caps, lo, hi
+
+    def _recoordinate(
+        self,
+        job: RunningJob,
+        recommender: Recommender,
+        budget_w: float | None = None,
+        node_ids: tuple[int, ...] | None = None,
+    ) -> None:
+        """Re-split the job's budget over a decomposition, atomically.
+
+        Plans first (:meth:`_plan` raises with the job untouched), then
+        commits budget, decomposition, concurrency, and caps together,
+        and audits the committed cap set on the shared monitor.
+        """
+        budget = job.budget_w if budget_w is None else budget_w
+        ids = job.node_ids if node_ids is None else node_ids
+        n_threads, caps, lo, hi = self._plan(job, recommender, budget, ids)
+        job.budget_w = budget
+        job.node_ids = ids
+        job.n_nodes = len(ids)
+        job.n_threads = n_threads
+        job.per_node_caps = caps
+        self.monitor.audit(
+            "runtime",
+            job.app.name,
+            budget,
+            caps,
+            node_lo_w=lo,
+            node_hi_w=hi,
+        )
+
+    # -- node failure handling ------------------------------------------
+
+    def _park(self, job: RunningJob, reason: str) -> None:
+        """Sideline a job the cluster can no longer serve."""
+        job.parked = True
+        job.park_reason = reason
+
+    def fail_node(self, node_id: int) -> list[RunningJob]:
+        """Take a node out of service and re-coordinate its jobs.
+
+        Each affected job shrinks onto its surviving nodes — the fixed
+        job budget re-split over fewer parts — when ``allow_shrink``
+        was set and the reduced decomposition stays feasible; otherwise
+        it is parked with a typed reason.  Returns the affected jobs.
+        """
+        cluster = self._engine.cluster
+        cluster.fail_node(node_id)
+        affected = [
+            j
+            for j in self._jobs
+            if not j.done and not j.parked and node_id in j.node_ids
+        ]
+        for job in affected:
+            survivors = tuple(
+                i for i in job.node_ids if cluster.is_available(i)
+            )
+            if not job.allow_shrink or not survivors:
+                self._park(
+                    job,
+                    f"node {node_id} failed and the {job.n_nodes}-node "
+                    f"decomposition is pinned",
+                )
+                continue
+            try:
+                self._recoordinate(
+                    job, self._models(job.app), node_ids=survivors
+                )
+            except InfeasibleBudgetError as exc:
+                self._park(
+                    job,
+                    f"node {node_id} failed; budget infeasible on the "
+                    f"{len(survivors)} survivors ({exc})",
+                )
+        return affected
+
+    def recover_node(self, node_id: int) -> list[RunningJob]:
+        """Return a node to service and un-park jobs it unblocks.
+
+        A parked job resumes only when *all* of its nodes are back in
+        service and its budget re-coordinates cleanly; shrunk jobs keep
+        their reduced decomposition (the data was already re-split).
+        Returns the jobs that resumed.
+        """
+        cluster = self._engine.cluster
+        cluster.recover_node(node_id)
+        resumed = []
+        for job in self._jobs:
+            if job.done or not job.parked:
+                continue
+            if not all(cluster.is_available(i) for i in job.node_ids):
+                continue
+            try:
+                self._recoordinate(job, self._models(job.app))
+            except InfeasibleBudgetError:
+                continue  # nodes are back but the budget still falls short
+            job.parked = False
+            job.park_reason = None
+            resumed.append(job)
+        return resumed
+
+    # -- segment execution ----------------------------------------------
 
     def advance(self, job: RunningJob, iterations: int) -> SegmentRecord:
         """Execute up to *iterations* iterations under the current caps."""
         if job.done:
             raise SchedulingError("job already finished")
+        if job.parked:
+            raise NodeFailureError(f"job is parked: {job.park_reason}")
         if iterations < 1:
             raise SchedulingError("iterations must be >= 1")
         chunk = min(iterations, job.remaining_iterations)

@@ -87,6 +87,11 @@ class ClipScheduler:
         return self._pipeline.knowledge
 
     @property
+    def monitor(self):
+        """The shared budget-invariant auditor (the pipeline's ledger)."""
+        return self._pipeline.monitor
+
+    @property
     def node_factors(self) -> np.ndarray:
         """Calibrated per-node power-efficiency factors."""
         return self._pipeline.node_factors

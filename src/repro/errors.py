@@ -19,6 +19,8 @@ __all__ = [
     "ModelNotFittedError",
     "InfeasibleBudgetError",
     "SchedulingError",
+    "NodeFailureError",
+    "BudgetInvariantError",
     "KnowledgeBaseError",
     "KnowledgeError",
 ]
@@ -71,6 +73,26 @@ class InfeasibleBudgetError(ClipError):
 
 class SchedulingError(ClipError):
     """The scheduler reached an internally inconsistent state."""
+
+
+class NodeFailureError(ClipError):
+    """A node failed under a job whose decomposition cannot absorb it.
+
+    Raised when a running job touches a failed node and the runtime may
+    not re-split its work (the decomposition is pinned and shrinking was
+    not allowed at launch), or when an execution request names a node
+    that is currently marked failed.
+    """
+
+
+class BudgetInvariantError(ClipError):
+    """An issued cap set violated a cluster power invariant.
+
+    Raised by :class:`~repro.core.monitor.BudgetInvariantMonitor` when a
+    caller demands a clean audit trail (``assert_clean``) and at least
+    one recorded cap set either summed above its cluster budget or put
+    a node outside the application's acceptable power range.
+    """
 
 
 class KnowledgeBaseError(ClipError):

@@ -9,7 +9,7 @@ cluster-level allocator needs.
 
 from __future__ import annotations
 
-from repro.errors import SpecError
+from repro.errors import NodeFailureError, SpecError
 from repro.hw.node import SimulatedNode
 from repro.hw.specs import ClusterSpec, haswell_testbed
 from repro.hw.variability import VariabilityModel
@@ -29,6 +29,7 @@ class SimulatedCluster:
             SimulatedNode(spec.node, node_id=i, efficiency=f)
             for i, f in enumerate(self._variability.factors)
         ]
+        self._failed: set[int] = set()
 
     @classmethod
     def testbed(cls, **kwargs) -> "SimulatedCluster":
@@ -71,6 +72,56 @@ class SimulatedCluster:
         )
         self._nodes[node_id] = replacement
         return replacement
+
+    # -- node failure state (fault injection) ---------------------------
+
+    def fail_node(self, node_id: int) -> SimulatedNode:
+        """Mark one node failed (crash, PSU loss, network partition).
+
+        A failed node keeps its slot and identity but may not
+        participate in runs until :meth:`recover_node` brings it back.
+        Returns the failed node so callers can inspect its last state.
+        """
+        node = self.node(node_id)
+        self._failed.add(node_id)
+        return node
+
+    def recover_node(self, node_id: int) -> SimulatedNode:
+        """Return a failed node to service after its implied reboot.
+
+        The slot is refilled with a fresh node at the same efficiency
+        factor — caps, meters, and DVFS state reset across the reboot,
+        exactly as in :meth:`degrade_node`.  Returns the new node.
+        """
+        if not 0 <= node_id < self.n_nodes:
+            raise SpecError(f"node id {node_id} outside [0, {self.n_nodes})")
+        if node_id not in self._failed:
+            raise NodeFailureError(f"node {node_id} is not failed")
+        old = self._nodes[node_id]
+        self._nodes[node_id] = SimulatedNode(
+            self._spec.node, node_id=node_id, efficiency=old.efficiency
+        )
+        self._failed.discard(node_id)
+        return self._nodes[node_id]
+
+    def is_available(self, node_id: int) -> bool:
+        """Whether the node is in service (exists and is not failed)."""
+        return 0 <= node_id < self.n_nodes and node_id not in self._failed
+
+    @property
+    def failed_node_ids(self) -> tuple[int, ...]:
+        """Ids of the nodes currently marked failed, ascending."""
+        return tuple(sorted(self._failed))
+
+    @property
+    def available_node_ids(self) -> tuple[int, ...]:
+        """Ids of the nodes currently in service, ascending."""
+        return tuple(i for i in range(self.n_nodes) if i not in self._failed)
+
+    @property
+    def n_available(self) -> int:
+        """Number of nodes currently in service."""
+        return self.n_nodes - len(self._failed)
 
     @property
     def n_nodes(self) -> int:

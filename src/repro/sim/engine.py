@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import SchedulingError
+from repro.errors import NodeFailureError, SchedulingError
 from repro.hw.cluster import SimulatedCluster
 from repro.hw.counters import synthesize_counters
 from repro.hw.numa import AffinityKind
@@ -258,6 +258,12 @@ class ExecutionEngine:
             participants = [cluster.node(i) for i in config.node_ids]
         else:
             participants = list(cluster.nodes[: config.n_nodes])
+        down = [n.node_id for n in participants if not cluster.is_available(n.node_id)]
+        if down:
+            raise NodeFailureError(
+                f"cannot run on failed node(s) {down}; "
+                f"available: {list(cluster.available_node_ids)}"
+            )
 
         records: list[NodeRunRecord] = []
         rng = self._run_rng(app, config)

@@ -1,0 +1,207 @@
+"""Scripted fault injection for the power-bounded runtime and queue.
+
+Power-bounded systems earn their robustness claims under *churn*: nodes
+fail and come back, parts degrade, and the facility budget swings
+mid-run.  This module turns the simulator into a testbed for exactly
+those claims.  A :class:`FaultInjector` holds a script of timed
+:class:`FaultEvent`\\ s — node failure, node recovery, degradation, and
+budget changes — and applies every event whose timestamp has passed as
+simulated time advances:
+
+* against a :class:`~repro.core.runtime.PowerBoundedRuntime`, failures
+  route through :meth:`~repro.core.runtime.PowerBoundedRuntime.fail_node`
+  so running jobs shrink or park transactionally
+  (:func:`run_scripted` drives one job segment-by-segment under a
+  script);
+* against a :class:`~repro.core.jobqueue.PowerBoundedJobQueue`, the
+  drain loop polls the injector between jobs/batches, scheduling each
+  subsequent job on the surviving nodes at the current budget.
+
+Every cap set issued along the way lands on the shared
+:class:`~repro.core.monitor.BudgetInvariantMonitor`, which is how a
+scenario proves it never exceeded the cluster budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NodeFailureError, SchedulingError
+from repro.hw.cluster import SimulatedCluster
+
+__all__ = ["FAULT_ACTIONS", "FaultEvent", "FaultInjector", "run_scripted"]
+
+#: The event kinds a fault script may contain.
+FAULT_ACTIONS = ("fail_node", "recover_node", "degrade_node", "set_budget")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted fault, fired when simulated time reaches ``at_s``."""
+
+    at_s: float
+    action: str
+    node_id: int | None = None
+    factor: float | None = None
+    budget_w: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise SchedulingError(f"event time must be >= 0, got {self.at_s}")
+        if self.action not in FAULT_ACTIONS:
+            raise SchedulingError(
+                f"unknown fault action {self.action!r}; "
+                f"expected one of {FAULT_ACTIONS}"
+            )
+        if self.action in ("fail_node", "recover_node", "degrade_node"):
+            if self.node_id is None:
+                raise SchedulingError(f"{self.action} requires node_id")
+        if self.action == "degrade_node" and (
+            self.factor is None or self.factor <= 0
+        ):
+            raise SchedulingError("degrade_node requires factor > 0")
+        if self.action == "set_budget" and (
+            self.budget_w is None or self.budget_w <= 0
+        ):
+            raise SchedulingError("set_budget requires budget_w > 0")
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and demo output."""
+        if self.action == "fail_node":
+            detail = f"node {self.node_id} fails"
+        elif self.action == "recover_node":
+            detail = f"node {self.node_id} recovers"
+        elif self.action == "degrade_node":
+            detail = f"node {self.node_id} degrades x{self.factor:g}"
+        else:
+            detail = f"budget -> {self.budget_w:.0f} W"
+        return f"t={self.at_s:.1f}s: {detail}"
+
+
+class FaultInjector:
+    """Applies a fault script against a cluster as time advances.
+
+    The injector owns the *current* cluster budget (seeded with
+    ``budget_w``, changed by ``set_budget`` events) and mutates the
+    cluster directly for failure/recovery/degradation — unless a
+    runtime is passed to :meth:`advance_to`, in which case node events
+    route through the runtime so its jobs shrink or park.
+    """
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        events: list[FaultEvent] | tuple[FaultEvent, ...],
+        budget_w: float | None = None,
+    ):
+        self._cluster = cluster
+        self._events = sorted(events, key=lambda e: e.at_s)
+        self._cursor = 0
+        self._budget = budget_w
+        self.fired: list[FaultEvent] = []
+
+    @property
+    def cluster(self) -> SimulatedCluster:
+        """The cluster this script mutates."""
+        return self._cluster
+
+    @property
+    def budget_w(self) -> float | None:
+        """The current cluster budget (``None`` until one is known)."""
+        return self._budget
+
+    @property
+    def pending(self) -> tuple[FaultEvent, ...]:
+        """Events not yet fired, in schedule order."""
+        return tuple(self._events[self._cursor :])
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every scripted event has fired."""
+        return self._cursor >= len(self._events)
+
+    # ------------------------------------------------------------------
+
+    def _apply(self, event: FaultEvent, runtime) -> None:
+        if event.action == "fail_node":
+            if runtime is not None:
+                runtime.fail_node(event.node_id)
+            else:
+                self._cluster.fail_node(event.node_id)
+        elif event.action == "recover_node":
+            if runtime is not None:
+                runtime.recover_node(event.node_id)
+            else:
+                self._cluster.recover_node(event.node_id)
+        elif event.action == "degrade_node":
+            self._cluster.degrade_node(event.node_id, event.factor)
+            if runtime is not None:
+                runtime.recalibrate()
+        else:  # set_budget
+            self._budget = event.budget_w
+        self.fired.append(event)
+
+    def advance_to(self, now_s: float, runtime=None) -> list[FaultEvent]:
+        """Fire every event scheduled at or before *now_s*.
+
+        Returns the events fired by this call, in order.  Pass the
+        :class:`~repro.core.runtime.PowerBoundedRuntime` owning the
+        affected jobs so failures shrink/park them transactionally.
+        """
+        out: list[FaultEvent] = []
+        while (
+            self._cursor < len(self._events)
+            and self._events[self._cursor].at_s <= now_s
+        ):
+            event = self._events[self._cursor]
+            self._cursor += 1
+            self._apply(event, runtime)
+            out.append(event)
+        return out
+
+    def fire_next(self, runtime=None) -> FaultEvent:
+        """Fire the next pending event regardless of its timestamp.
+
+        Models waiting for the machine room: a parked job makes no
+        simulated progress, so the clock only moves because the next
+        scripted event (typically the recovery) eventually happens.
+        """
+        if self.exhausted:
+            raise SchedulingError("fault script is exhausted")
+        event = self._events[self._cursor]
+        self._cursor += 1
+        self._apply(event, runtime)
+        return event
+
+
+def run_scripted(
+    runtime,
+    job,
+    injector: FaultInjector,
+    segment_iterations: int = 20,
+):
+    """Drive one runtime job to completion under a fault script.
+
+    Between segments, fires every event due at the job's elapsed
+    simulated time; budget events re-coordinate the job, and if a
+    failure parks it, the loop fast-forwards the script (the job waits
+    in place) until a recovery un-parks it.  Raises
+    :class:`~repro.errors.NodeFailureError` if the job is parked and no
+    scripted event remains to rescue it.
+    """
+    while not job.done:
+        injector.advance_to(job.elapsed_s, runtime=runtime)
+        while job.parked:
+            if injector.exhausted:
+                raise NodeFailureError(
+                    f"job parked with no rescue left in the script: "
+                    f"{job.park_reason}"
+                )
+            injector.fire_next(runtime=runtime)
+        if (
+            injector.budget_w is not None
+            and injector.budget_w != job.budget_w
+        ):
+            runtime.update_budget(job, injector.budget_w)
+        runtime.advance(job, segment_iterations)
+    return job

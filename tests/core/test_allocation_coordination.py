@@ -89,6 +89,53 @@ class TestCoordinatePower:
         assert np.all(budgets >= 120.0 - 1e-9)
 
 
+@st.composite
+def _coordination_cases(draw):
+    """Random but feasible (total, factors, lo, hi) coordination inputs."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    lo = draw(st.floats(min_value=50.0, max_value=150.0))
+    hi = lo + draw(st.floats(min_value=10.0, max_value=200.0))
+    factors = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=2.0), min_size=n, max_size=n
+            )
+        )
+    )
+    headroom = draw(st.floats(min_value=0.0, max_value=1.5))
+    total = n * lo + headroom * n * (hi - lo)
+    return total, factors, lo, hi
+
+
+class TestCoordinatePowerProperties:
+    """Randomized invariants: budgets sum <= total and sit in [lo, hi]."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(case=_coordination_cases())
+    def test_never_exceeds_budget_or_range(self, case):
+        total, factors, lo, hi = case
+        budgets = coordinate_power(total, factors, lo_w=lo, hi_w=hi)
+        tol = 1e-6 * max(total, 1.0)
+        assert len(budgets) == len(factors)
+        assert budgets.sum() <= total + tol
+        assert np.all(budgets >= lo - tol)
+        assert np.all(budgets <= hi + tol)
+
+    def test_low_clamp_deficit_redistributed(self):
+        """Regression: clamping weak nodes up to lo_w must not overspend.
+
+        Proportional shares [52.5, 157.5] clip to [100, 157.5] — a sum
+        of 257.5 W against a 210 W budget.  The deficit must come back
+        out of the node above the floor.
+        """
+        budgets = coordinate_power(
+            210.0, np.array([0.5, 1.5]), lo_w=100.0, hi_w=200.0
+        )
+        assert budgets.sum() <= 210.0 + 1e-9
+        assert np.all(budgets >= 100.0 - 1e-9)
+        np.testing.assert_allclose(budgets, [100.0, 110.0])
+
+
 class TestMeasureNodeFactors:
     def test_factors_track_ground_truth(self, engine):
         measured = measure_node_factors(engine)

@@ -1,5 +1,7 @@
 """Tests for multi-job node/power partitioning."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.knowledge import KnowledgeDB
@@ -91,6 +93,32 @@ class TestRun:
             for rec in result.nodes
         )
         assert drawn <= 1800.0 * (1 + 1e-6)
+
+    def test_duplicate_names_run_their_own_workloads(
+        self, coordinator, monkeypatch
+    ):
+        """Regression: placements pair with apps by index, not by name.
+
+        Two distinct workloads sharing a name (same kernel, different
+        problem size) used to collapse through a name-keyed dict, so
+        one of them executed twice and the other never ran.
+        """
+        base = get_app("comd")
+        twin = dataclasses.replace(base, problem_size="twin-large")
+        coordinator.partition([base, twin], 1600.0)  # warm model bundles
+        executed = []
+        engine = coordinator._engine
+        real_run = engine.run
+
+        def spy(app, config):
+            executed.append(app)
+            return real_run(app, config)
+
+        monkeypatch.setattr(engine, "run", spy)
+        results = coordinator.run([base, twin], 1600.0, iterations=2)
+        assert len(results) == 2
+        assert executed[0] is base
+        assert executed[1] is twin
 
     def test_fairness_no_job_starved(self, coordinator):
         apps = [get_app(n) for n in THREE_APPS]

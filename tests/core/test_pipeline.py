@@ -39,6 +39,9 @@ STAGE_ORDER = [
     "recommend",
 ]
 
+#: Every trace additionally records the budget-invariant audit event.
+TRACE_ORDER = STAGE_ORDER + ["audit"]
+
 
 @pytest.fixture()
 def clip(engine, trained_inflection):
@@ -122,8 +125,8 @@ class TestWarmPath:
         app = get_app("comd")
         _, cold = clip.schedule_traced(app, 1400.0)
         _, warm = clip.schedule_traced(app, 1400.0)
-        assert [s.stage for s in cold.stages] == STAGE_ORDER
-        assert [s.stage for s in warm.stages] == STAGE_ORDER
+        assert [s.stage for s in cold.stages] == TRACE_ORDER
+        assert [s.stage for s in warm.stages] == TRACE_ORDER
         assert cold.stage("profile").outputs["knowledge_hit"] is False
         assert warm.stage("profile").outputs["knowledge_hit"] is True
         assert cold.stage("fit_models").outputs["bundle_cached"] is False
@@ -159,7 +162,7 @@ class TestSerialization:
     def test_trace_is_json_safe(self, warm_clip):
         _, trace = warm_clip.schedule_traced(get_app("comd"), 1400.0)
         payload = json.loads(json.dumps(trace.to_dict()))
-        assert [s["stage"] for s in payload["stages"]] == STAGE_ORDER
+        assert [s["stage"] for s in payload["stages"]] == TRACE_ORDER
         assert payload["total_time_s"] >= 0
         assert all(s["wall_time_s"] >= 0 for s in payload["stages"])
 

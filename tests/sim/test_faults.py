@@ -1,0 +1,142 @@
+"""Tests for node failure state and the scripted fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.core.coordination import measure_node_factors
+from repro.errors import NodeFailureError, SchedulingError, SpecError
+from repro.sim.engine import ExecutionConfig
+from repro.sim.faults import FaultEvent, FaultInjector
+from repro.workloads.apps import get_app
+
+
+class TestClusterFailureState:
+    def test_fail_marks_node_unavailable(self, cluster):
+        cluster.fail_node(3)
+        assert not cluster.is_available(3)
+        assert cluster.failed_node_ids == (3,)
+        assert cluster.n_available == cluster.n_nodes - 1
+        assert 3 not in cluster.available_node_ids
+
+    def test_recover_restores_service(self, cluster):
+        old_eff = cluster.node(3).efficiency
+        cluster.fail_node(3)
+        node = cluster.recover_node(3)
+        assert cluster.is_available(3)
+        assert cluster.failed_node_ids == ()
+        # same silicon returns: the efficiency factor survives the reboot
+        assert node.efficiency == pytest.approx(old_eff)
+
+    def test_recover_unfailed_node_rejected(self, cluster):
+        with pytest.raises(NodeFailureError):
+            cluster.recover_node(0)
+
+    def test_bad_node_ids_rejected(self, cluster):
+        with pytest.raises(SpecError):
+            cluster.fail_node(99)
+        with pytest.raises(SpecError):
+            cluster.recover_node(-1)
+
+    def test_engine_rejects_failed_participant(self, engine):
+        engine.cluster.fail_node(1)
+        with pytest.raises(NodeFailureError):
+            engine.run(
+                get_app("comd"),
+                ExecutionConfig(n_nodes=4, n_threads=8, node_ids=(0, 1, 2, 3)),
+            )
+        # default node selection (first n) hits the failed node too
+        with pytest.raises(NodeFailureError):
+            engine.run(get_app("comd"), ExecutionConfig(n_nodes=4, n_threads=8))
+
+    def test_engine_runs_on_survivors(self, engine):
+        engine.cluster.fail_node(1)
+        result = engine.run(
+            get_app("comd"),
+            ExecutionConfig(
+                n_nodes=3, n_threads=8, node_ids=(0, 2, 3), iterations=2
+            ),
+        )
+        assert result.total_time_s > 0
+
+    def test_calibration_skips_failed_nodes(self, engine):
+        engine.cluster.fail_node(2)
+        factors = measure_node_factors(engine)
+        assert len(factors) == engine.cluster.n_nodes
+        assert factors[2] == pytest.approx(1.0)  # neutral placeholder
+        assert np.all(np.isfinite(factors))
+
+    def test_calibration_with_everything_failed_rejected(self, engine):
+        for i in range(engine.cluster.n_nodes):
+            engine.cluster.fail_node(i)
+        with pytest.raises(SchedulingError):
+            measure_node_factors(engine)
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            FaultEvent(at_s=-1.0, action="fail_node", node_id=0)
+        with pytest.raises(SchedulingError):
+            FaultEvent(at_s=0.0, action="meteor_strike")
+        with pytest.raises(SchedulingError):
+            FaultEvent(at_s=0.0, action="fail_node")  # node_id missing
+        with pytest.raises(SchedulingError):
+            FaultEvent(at_s=0.0, action="degrade_node", node_id=0)
+        with pytest.raises(SchedulingError):
+            FaultEvent(at_s=0.0, action="set_budget", budget_w=-5.0)
+
+    def test_describe_mentions_the_action(self):
+        assert "fails" in FaultEvent(1.0, "fail_node", node_id=2).describe()
+        assert "1200" in FaultEvent(1.0, "set_budget", budget_w=1200.0).describe()
+
+
+class TestFaultInjector:
+    def _script(self, cluster):
+        return FaultInjector(
+            cluster,
+            [
+                FaultEvent(at_s=5.0, action="set_budget", budget_w=1000.0),
+                FaultEvent(at_s=1.0, action="fail_node", node_id=2),
+                FaultEvent(at_s=9.0, action="recover_node", node_id=2),
+            ],
+            budget_w=1600.0,
+        )
+
+    def test_events_fire_in_time_order(self, cluster):
+        injector = self._script(cluster)
+        assert injector.budget_w == 1600.0
+        fired = injector.advance_to(0.5)
+        assert fired == []  # nothing due yet
+        fired = injector.advance_to(6.0)
+        assert [e.action for e in fired] == ["fail_node", "set_budget"]
+        assert injector.budget_w == 1000.0
+        assert not cluster.is_available(2)
+        assert not injector.exhausted
+
+    def test_pending_and_exhausted(self, cluster):
+        injector = self._script(cluster)
+        injector.advance_to(100.0)
+        assert injector.exhausted
+        assert injector.pending == ()
+        assert cluster.is_available(2)  # recovery fired last
+        assert [e.at_s for e in injector.fired] == [1.0, 5.0, 9.0]
+
+    def test_fire_next_ignores_timestamps(self, cluster):
+        injector = self._script(cluster)
+        event = injector.fire_next()
+        assert event.action == "fail_node"
+        assert not cluster.is_available(2)
+
+    def test_fire_next_on_empty_script_rejected(self, cluster):
+        injector = FaultInjector(cluster, [])
+        with pytest.raises(SchedulingError):
+            injector.fire_next()
+
+    def test_degrade_event_reshapes_node(self, cluster):
+        before = cluster.node(1).efficiency
+        injector = FaultInjector(
+            cluster,
+            [FaultEvent(at_s=0.0, action="degrade_node", node_id=1, factor=1.3)],
+        )
+        injector.advance_to(0.0)
+        assert cluster.node(1).efficiency == pytest.approx(before * 1.3)

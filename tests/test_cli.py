@@ -25,6 +25,17 @@ class TestParser:
         args = build_parser().parse_args(["--seed", "7", "apps"])
         assert args.seed == 7
 
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.command == "faults"
+        assert args.policy == "sequential"
+        assert args.budget == pytest.approx(1600.0)
+        assert not args.json
+
+    def test_faults_policy_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--policy", "chaotic"])
+
 
 class TestCommands:
     def test_apps_lists_table2(self, capsys):
@@ -74,6 +85,7 @@ class TestCommands:
             "fit_models",
             "allocate",
             "recommend",
+            "audit",
         ]
         assert all(s["wall_time_s"] >= 0 for s in payload["trace"]["stages"])
 
@@ -81,6 +93,17 @@ class TestCommands:
         assert main(["run", "comd", "1400"]) == 0
         out = capsys.readouterr().out
         assert "nodes x" in out
+
+    def test_faults_scenario_reports_clean_audit(self, capsys):
+        import json
+
+        assert main(["faults", "--iterations", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "sequential"
+        assert len(payload["jobs"]) == 6
+        assert payload["monitor"]["n_violations"] == 0
+        assert payload["monitor"]["n_audits"] > 0
+        assert len(payload["events"]) >= 2  # the script actually fired
 
     def test_compare_subset(self, capsys):
         assert main(["compare", "1400", "--apps", "comd", "sp-mz.C"]) == 0
