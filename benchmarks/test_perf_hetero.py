@@ -1,0 +1,45 @@
+"""Perf guard for mixed-fleet scheduling.
+
+Runs the heterogeneous-cluster benchmark, records the measurements to
+``BENCH_hetero.json`` at the repository root, and enforces the
+refactor's acceptance bar: warm per-class bundle hits must make a warm
+mixed-fleet ``schedule()`` measurably faster than a cold one, with a
+clean budget-invariant ledger throughout.
+"""
+
+from bench_hetero import run_hetero_bench
+
+#: Acceptance floor: a warm mixed-fleet decision reuses every class's
+#: cached bundle, skipping profiling and per-class model fitting
+#: entirely, so it must be clearly cheaper than a cold one.
+MIN_WARM_SPEEDUP = 1.5
+
+
+def test_hetero_warm_speedup(report):
+    payload = run_hetero_bench()
+    cold = payload["cold"]
+    warm = payload["warm"]
+    cache = payload["bundle_cache"]
+
+    lines = [
+        "Mixed fleet — cold vs warm schedule() "
+        f"({payload['node_classes']} node classes, "
+        f"{len(payload['apps'])} apps, {len(payload['budgets_w'])} budgets)",
+        f"  cold : {cold['per_decision_s'] * 1e3:8.2f} ms/decision "
+        f"({cold['decisions']} decisions)",
+        f"  warm : {warm['per_decision_s'] * 1e3:8.2f} ms/decision "
+        f"({warm['decisions']} decisions, "
+        f"{payload['warm_speedup']:.1f}x)",
+        f"  bundles fitted: {cache['misses']} "
+        f"(hits {cache['hits']}, hit rate {cache['hit_rate']:.3f})",
+        f"  audits: {payload['audits']['n_audits']} cap sets, "
+        f"{payload['audits']['n_violations']} violations",
+    ]
+    report("perf_hetero", "\n".join(lines))
+
+    # Correctness first: every issued cap set honored the contract.
+    assert payload["audits"]["n_violations"] == 0
+    # One bundle per (app, class): warm decisions fit nothing new.
+    assert cache["misses"] == payload["node_classes"] * len(payload["apps"])
+    assert cache["hit_rate"] > 0.5
+    assert payload["warm_speedup"] >= MIN_WARM_SPEEDUP, payload

@@ -62,7 +62,7 @@ class ClipSchedulerAdapter(PowerBoundedScheduler):
         return decision.to_execution_config()
 
 
-_INFLECTION_CACHE: dict[tuple[int, int], InflectionPredictor] = {}
+_INFLECTION_CACHE: dict[tuple[str, int, int], InflectionPredictor] = {}
 
 
 def build_trained_inflection(
@@ -73,14 +73,16 @@ def build_trained_inflection(
     """Train the MLR inflection predictor on the training corpus.
 
     Training profiles ~60 corpus applications, so the result is cached
-    per (corpus size, seed) within the process; the simulated node is
-    identical across default testbeds.
+    per (primary node class, corpus size, seed) within the process — a
+    mixed testbed trains on its slot-0 class, the one profiling samples
+    run on.
     """
-    key = (n_synthetic, seed)
+    primary = engine.cluster.spec.node_specs[0]
+    key = (primary.name, n_synthetic, seed)
     if key not in _INFLECTION_CACHE:
         predictor = InflectionPredictor()
         corpus = training_corpus(
-            engine.cluster.spec.node, n_synthetic=n_synthetic, seed=seed
+            primary, n_synthetic=n_synthetic, seed=seed
         )
         predictor.fit_from_corpus(corpus, SmartProfiler(engine))
         _INFLECTION_CACHE[key] = predictor

@@ -46,7 +46,9 @@ class AllInScheduler(PowerBoundedScheduler):
             )
         return ExecutionConfig(
             n_nodes=n_nodes,
-            n_threads=cluster.spec.node.n_cores,
+            # uniform per-rank thread count: on a mixed cluster only the
+            # smallest class's core count fits every participating node
+            n_threads=min(s.n_cores for s in cluster.spec.node_specs),
             pkg_cap_w=pkg,
             dram_cap_w=ALLIN_MEM_W,
         )

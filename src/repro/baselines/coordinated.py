@@ -56,7 +56,10 @@ class CoordinatedScheduler(PowerBoundedScheduler):
         else:
             entry = KnowledgeEntry(profile=self._profiler.profile(app))
             self._kb.put(entry)
-        bundle = self._bundles.get_or_build(entry, self.engine.cluster.spec.node)
+        # primary-class model: Coordinated learns one floor per app, on
+        # the class hosting slot 0 (the class profiling samples ran on)
+        primary = self.engine.cluster.spec.node_specs[0]
+        bundle = self._bundles.get_or_build(entry, primary)
         return bundle.power_model
 
     def plan(
@@ -64,7 +67,7 @@ class CoordinatedScheduler(PowerBoundedScheduler):
     ) -> ExecutionConfig:
         """App-specific node floor; model-driven CPU/DRAM split; all cores."""
         cluster = self.engine.cluster
-        n_cores = cluster.spec.node.n_cores
+        n_cores = min(s.n_cores for s in cluster.spec.node_specs)
         model = self._power_model(app)
         floor = model.power_range(n_cores).node_lo_w
         n_nodes = min(int(cluster_budget_w // floor), cluster.n_nodes)

@@ -58,7 +58,7 @@ class LowerLimitScheduler(PowerBoundedScheduler):
         node_share = cluster_budget_w / n_nodes
         return ExecutionConfig(
             n_nodes=n_nodes,
-            n_threads=cluster.spec.node.n_cores,
+            n_threads=min(s.n_cores for s in cluster.spec.node_specs),
             pkg_cap_w=node_share - ALLIN_MEM_W,
             dram_cap_w=ALLIN_MEM_W,
         )

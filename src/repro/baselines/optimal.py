@@ -83,17 +83,20 @@ class OracleScheduler(PowerBoundedScheduler):
         use_batch: bool = True,
     ):
         super().__init__(engine)
-        node = engine.cluster.spec.node
+        classes = list(dict.fromkeys(engine.cluster.spec.node_specs))
         if dram_grid_w is None:
-            lo = node.n_sockets * node.socket.memory.p_base_w
-            hi = node.p_mem_max_w
+            # every grid point must be honorable on every class: floor
+            # at the highest class floor, ceiling at the lowest class max
+            lo = max(s.n_sockets * s.socket.memory.p_base_w for s in classes)
+            hi = min(s.p_mem_max_w for s in classes)
             dram_grid_w = (lo,) + tuple(
                 float(w) for w in np.linspace(lo + 2.0, hi, 5)
             )
         self._dram_grid = dram_grid_w
         self._thread_step = max(1, thread_step)
+        min_cores = min(s.n_cores for s in classes)
         self._thread_grid = tuple(
-            sorted({1} | set(range(self._thread_step, node.n_cores + 1, self._thread_step)))
+            sorted({1} | set(range(self._thread_step, min_cores + 1, self._thread_step)))
         )
         self._use_batch = use_batch
         self._last_stats: dict[str, int] = {}
@@ -123,15 +126,36 @@ class OracleScheduler(PowerBoundedScheduler):
     ) -> ExecutionConfig:
         """Exhaustively search and return the best budget-respecting config."""
         cluster = self.engine.cluster
-        node = cluster.spec.node
+        homogeneous = cluster.spec.is_homogeneous
         # Eq. 4-9 floor: per-thread leakage on top of the package and
         # DRAM base powers, scaled by each node's variability factor.
-        static_base = (
-            node.n_sockets * node.socket.p_base_w
-            + node.n_sockets * node.socket.memory.p_base_w
-        )
-        p_leak = node.socket.core.p_leak_w
-        eff_prefix = list(accumulate(n.efficiency for n in cluster.nodes))
+        if homogeneous:
+            node = cluster.spec.node_specs[0]
+            static_base = (
+                node.n_sockets * node.socket.p_base_w
+                + node.n_sockets * node.socket.memory.p_base_w
+            )
+            p_leak = node.socket.core.p_leak_w
+            eff_prefix = list(accumulate(n.efficiency for n in cluster.nodes))
+        else:
+            # mixed cluster: each slot contributes its own class's base
+            # and leakage terms, so the floor splits into two prefixes
+            static_prefix = list(
+                accumulate(
+                    (
+                        n.spec.n_sockets * n.spec.socket.p_base_w
+                        + n.spec.n_sockets * n.spec.socket.memory.p_base_w
+                    )
+                    * n.efficiency
+                    for n in cluster.nodes
+                )
+            )
+            leak_prefix = list(
+                accumulate(
+                    n.spec.socket.core.p_leak_w * n.efficiency
+                    for n in cluster.nodes
+                )
+            )
 
         candidates: list[ExecutionConfig] = []
         total = 0
@@ -144,9 +168,15 @@ class OracleScheduler(PowerBoundedScheduler):
                     continue
                 for n_threads in self._thread_grid:
                     total += len(AffinityKind)
-                    floor = (static_base + n_threads * p_leak) * eff_prefix[
-                        n_nodes - 1
-                    ]
+                    if homogeneous:
+                        floor = (static_base + n_threads * p_leak) * eff_prefix[
+                            n_nodes - 1
+                        ]
+                    else:
+                        floor = (
+                            static_prefix[n_nodes - 1]
+                            + n_threads * leak_prefix[n_nodes - 1]
+                        )
                     if floor > cluster_budget_w * BUDGET_TOLERANCE * _PRUNE_MARGIN:
                         pruned += len(AffinityKind)
                         continue

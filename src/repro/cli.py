@@ -14,7 +14,10 @@ Subcommands mirror the framework's helper tools (§IV-B):
   (node failure + recovery + budget swings) and print the
   budget-invariant audit.
 
-All commands operate on the simulated 8-node Haswell testbed.
+Commands default to the simulated 8-node Haswell testbed; the
+``schedule``, ``run``, ``compare`` and ``faults`` subcommands accept
+``--testbed {haswell,broadwell,mixed}`` to target the Broadwell fleet
+or the mixed 4×Haswell + 4×Broadwell cluster instead.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import argparse
 import json
 import sys
 
+from repro import __version__
 from repro.analysis.experiments import (
     build_trained_inflection,
     compare_methods,
@@ -34,6 +38,7 @@ from repro.core.profile import SmartProfiler
 from repro.core.scheduler import ClipScheduler
 from repro.errors import ClipError
 from repro.hw.cluster import SimulatedCluster
+from repro.hw.specs import broadwell_testbed
 from repro.sim.engine import ExecutionEngine
 from repro.workloads.apps import all_apps, get_app
 
@@ -44,12 +49,24 @@ def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="clip-sched",
-        description="CLIP power-bounded scheduling on a simulated Haswell cluster",
+        description="CLIP power-bounded scheduling on a simulated cluster",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument(
         "--seed", type=int, default=42, help="simulation seed (default 42)"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_testbed(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--testbed",
+            choices=("haswell", "broadwell", "mixed"),
+            default="haswell",
+            help="simulated cluster: 8x Haswell (default), 8x Broadwell, "
+            "or the mixed 4x Haswell + 4x Broadwell fleet",
+        )
 
     sub.add_parser("apps", help="list predefined applications")
 
@@ -64,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("run", "schedule and execute on the simulated testbed"),
     ):
         p = sub.add_parser(name, help=help_)
+        add_testbed(p)
         p.add_argument("app")
         p.add_argument("budget", type=float, help="cluster power budget (W)")
         p.add_argument(
@@ -81,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
             )
 
     p = sub.add_parser("compare", help="compare the four methods at one budget")
+    add_testbed(p)
     p.add_argument("budget", type=float)
     p.add_argument(
         "--apps", nargs="*", default=None, help="subset of application names"
@@ -90,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
         "faults",
         help="drain a job queue through a scripted fault scenario",
     )
+    add_testbed(p)
     p.add_argument(
         "--policy",
         choices=("sequential", "coscheduled"),
@@ -121,8 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _engine(seed: int) -> ExecutionEngine:
-    return ExecutionEngine(SimulatedCluster.testbed(), seed=seed)
+def _engine(seed: int, testbed: str = "haswell") -> ExecutionEngine:
+    cluster = {
+        "haswell": SimulatedCluster.testbed,
+        "broadwell": lambda: SimulatedCluster(broadwell_testbed()),
+        "mixed": SimulatedCluster.mixed_testbed,
+    }[testbed]()
+    return ExecutionEngine(cluster, seed=seed)
 
 
 def cmd_apps(_args) -> int:
@@ -166,7 +191,7 @@ def _scheduler(engine: ExecutionEngine) -> ClipScheduler:
 
 
 def cmd_schedule(args) -> int:
-    engine = _engine(args.seed)
+    engine = _engine(args.seed, args.testbed)
     app = get_app(args.app)
     clip = _scheduler(engine)
     if args.json:
@@ -190,7 +215,7 @@ def cmd_schedule(args) -> int:
 
 
 def cmd_run(args) -> int:
-    engine = _engine(args.seed)
+    engine = _engine(args.seed, args.testbed)
     app = get_app(args.app)
     clip = _scheduler(engine)
     decision, result = clip.run(app, args.budget, allocation_mode=args.mode)
@@ -200,7 +225,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    engine = _engine(args.seed)
+    engine = _engine(args.seed, args.testbed)
     apps = (
         [get_app(n) for n in args.apps]
         if args.apps
@@ -255,7 +280,7 @@ def cmd_faults(args) -> int:
     from repro.core.jobqueue import PowerBoundedJobQueue
     from repro.sim.faults import FaultInjector
 
-    engine = _engine(args.seed)
+    engine = _engine(args.seed, args.testbed)
     clip = _scheduler(engine)
     queue = PowerBoundedJobQueue(clip)
     apps = [get_app(n) for n in FAULT_DEMO_APPS]

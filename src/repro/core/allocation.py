@@ -35,13 +35,20 @@ __all__ = ["ClusterAllocation", "ClusterAllocator"]
 
 @dataclass(frozen=True)
 class ClusterAllocation:
-    """Node count plus per-node budgets chosen for one job."""
+    """Node count plus per-node budgets chosen for one job.
+
+    ``node_lo_w`` / ``node_hi_w`` describe the primary hardware class;
+    on a heterogeneous cluster ``node_ranges_w`` additionally carries
+    each participating slot's own ``(lo, hi)`` (``None`` when every
+    slot shares the primary range).
+    """
 
     n_nodes: int
     node_budgets_w: tuple[float, ...]
     node_lo_w: float
     node_hi_w: float
     predicted_cluster_perf: float
+    node_ranges_w: tuple[tuple[float, float], ...] | None = None
 
     @property
     def total_allocated_w(self) -> float:
@@ -58,6 +65,7 @@ class ClusterAllocator:
         n_total_nodes: int,
         node_factors: np.ndarray | None = None,
         variability_threshold: float = VARIABILITY_THRESHOLD,
+        node_ranges: tuple[tuple[float, float], ...] | None = None,
     ):
         if n_total_nodes < 1:
             raise SchedulingError("cluster must have at least one node")
@@ -71,6 +79,15 @@ class ClusterAllocator:
         if len(self._factors) != n_total_nodes:
             raise SchedulingError("node_factors must cover every node")
         self._threshold = variability_threshold
+        # per-slot (lo, hi) acceptable ranges: None on a homogeneous
+        # cluster (every slot shares the recommender's range)
+        self._ranges = (
+            tuple((float(lo), float(hi)) for lo, hi in node_ranges)
+            if node_ranges is not None
+            else None
+        )
+        if self._ranges is not None and len(self._ranges) != n_total_nodes:
+            raise SchedulingError("node_ranges must cover every node")
 
     @property
     def power_model(self) -> ClipPowerModel:
@@ -96,11 +113,21 @@ class ClusterAllocator:
     ) -> tuple[int, ...]:
         """Node counts whose per-node share lies in the acceptable range."""
         lo, hi = self.acceptable_range()
-        max_nodes = min(int(cluster_budget_w // lo), self._n_total)
+        if self._ranges is None:
+            max_nodes = min(int(cluster_budget_w // lo), self._n_total)
+            floor0 = lo
+        else:
+            # slots are filled in order: n nodes fit when the first n
+            # floors fit under the budget together
+            floors = np.cumsum([r[0] for r in self._ranges])
+            max_nodes = int(
+                np.searchsorted(floors, cluster_budget_w + 1e-9, side="right")
+            )
+            floor0 = self._ranges[0][0]
         if max_nodes < 1:
             raise InfeasibleBudgetError(
                 f"cluster budget {cluster_budget_w:.1f} W below the single-node "
-                f"floor {lo:.1f} W"
+                f"floor {floor0:.1f} W"
             )
         if predefined:
             cands = tuple(n for n in sorted(predefined) if 1 <= n <= max_nodes)
@@ -135,14 +162,25 @@ class ClusterAllocator:
         else:
             raise SchedulingError(f"unknown allocation mode {mode!r}")
 
-        per_node = min(cluster_budget_w / n_nodes, hi)
-        budgets = coordinate_power(
-            per_node * n_nodes,
-            self._factors[:n_nodes],
-            lo_w=lo,
-            hi_w=hi,
-            threshold=self._threshold,
-        )
+        if self._ranges is None:
+            per_node = min(cluster_budget_w / n_nodes, hi)
+            budgets = coordinate_power(
+                per_node * n_nodes,
+                self._factors[:n_nodes],
+                lo_w=lo,
+                hi_w=hi,
+                threshold=self._threshold,
+            )
+        else:
+            lo_arr = np.array([r[0] for r in self._ranges[:n_nodes]])
+            hi_arr = np.array([r[1] for r in self._ranges[:n_nodes]])
+            budgets = coordinate_power(
+                min(cluster_budget_w, float(hi_arr.sum())),
+                self._factors[:n_nodes],
+                lo_w=lo_arr,
+                hi_w=hi_arr,
+                threshold=self._threshold,
+            )
         perf = self._predict_cluster_perf(n_nodes, float(np.mean(budgets)))
         return ClusterAllocation(
             n_nodes=n_nodes,
@@ -150,6 +188,9 @@ class ClusterAllocator:
             node_lo_w=lo,
             node_hi_w=hi,
             predicted_cluster_perf=perf,
+            node_ranges_w=(
+                self._ranges[:n_nodes] if self._ranges is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -162,6 +203,8 @@ class ClusterAllocator:
         predefined: tuple[int, ...] | None,
     ) -> int:
         """Algorithm 1's literal node-count arithmetic."""
+        if self._ranges is not None:
+            return self._simple_node_count_ranged(budget, predefined)
         if predefined:
             fitting = [n for n in sorted(predefined) if n <= budget / lo]
             if not fitting:
@@ -178,6 +221,42 @@ class ClusterAllocator:
             return 1
         raise InfeasibleBudgetError(
             f"budget {budget:.1f} W below single-node floor {lo:.1f} W"
+        )
+
+    def _simple_node_count_ranged(
+        self, budget: float, predefined: tuple[int, ...] | None
+    ) -> int:
+        """The 'simple' arithmetic against per-slot ranges.
+
+        Cumulative per-slot sums replace the ``n * lo`` / ``n * hi``
+        products: n nodes fit when the first n floors fit, and the
+        "each node at the range top" count is the largest n whose
+        ceilings sum under the budget.
+        """
+        floors = np.cumsum([r[0] for r in self._ranges])
+        if predefined:
+            fitting = [
+                n
+                for n in sorted(predefined)
+                if n <= self._n_total and floors[n - 1] <= budget + 1e-9
+            ]
+            if not fitting:
+                raise InfeasibleBudgetError(
+                    f"no predefined count fits {budget:.1f} W at floor "
+                    f"{self._ranges[0][0]:.1f} W"
+                )
+            return fitting[-1]
+        ceilings = np.cumsum([r[1] for r in self._ranges])
+        if budget > ceilings[-1]:
+            return self._n_total
+        n = int(np.searchsorted(ceilings, budget + 1e-9, side="right"))
+        if n >= 1:
+            return n
+        if budget >= self._ranges[0][0]:
+            return 1
+        raise InfeasibleBudgetError(
+            f"budget {budget:.1f} W below single-node floor "
+            f"{self._ranges[0][0]:.1f} W"
         )
 
     def _predictive_node_count(

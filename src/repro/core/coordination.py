@@ -61,17 +61,22 @@ def measure_node_factors(engine: ExecutionEngine, n_threads: int | None = None) 
     Nodes currently marked failed are skipped and carry a neutral
     factor of 1.0 (they cannot participate in runs anyway); the
     normalization uses only the measured survivors.
+
+    On a heterogeneous cluster each node is calibrated against its own
+    spec (half *its* cores, pinned at *its* nominal frequency) and the
+    mean-normalization runs within each hardware class: a Broadwell
+    legitimately draws different watts than a Haswell, and only the
+    within-class silicon spread is manufacturing variability.
     """
     cluster = engine.cluster
-    node_spec = cluster.spec.node
-    n_threads = n_threads or node_spec.n_cores // 2
     powers = np.full(cluster.n_nodes, np.nan)
     for i in cluster.available_node_ids:
+        node_spec = cluster.node(i).spec
         result = engine.run(
             _CALIBRATION_APP,
             ExecutionConfig(
                 n_nodes=1,
-                n_threads=n_threads,
+                n_threads=n_threads or node_spec.n_cores // 2,
                 node_ids=(i,),
                 frequency_hz=node_spec.socket.f_nominal,
             ),
@@ -81,7 +86,18 @@ def measure_node_factors(engine: ExecutionEngine, n_threads: int | None = None) 
     measured = powers[~np.isnan(powers)]
     if measured.size == 0:
         raise SchedulingError("cannot calibrate: every node is failed")
-    factors = powers / measured.mean()
+    spec = cluster.spec
+    if spec.is_homogeneous:
+        factors = powers / measured.mean()
+    else:
+        factors = np.full(cluster.n_nodes, np.nan)
+        for node_spec in dict.fromkeys(spec.node_specs):
+            in_class = np.array(
+                [s == node_spec for s in spec.node_specs], dtype=bool
+            )
+            class_measured = powers[in_class & ~np.isnan(powers)]
+            if class_measured.size:
+                factors[in_class] = powers[in_class] / class_measured.mean()
     factors[np.isnan(factors)] = 1.0
     return factors
 
@@ -89,8 +105,8 @@ def measure_node_factors(engine: ExecutionEngine, n_threads: int | None = None) 
 def coordinate_power(
     total_budget_w: float,
     factors: np.ndarray,
-    lo_w: float,
-    hi_w: float,
+    lo_w: float | np.ndarray,
+    hi_w: float | np.ndarray,
     threshold: float = VARIABILITY_THRESHOLD,
 ) -> np.ndarray:
     """Split a job budget across nodes, variability-aware.
@@ -103,8 +119,11 @@ def coordinate_power(
         Per-node efficiency factors (watts per unit work, normalized);
         only the participating nodes' entries are passed.
     lo_w / hi_w:
-        Acceptable per-node power range of the application; budgets are
-        kept inside it.
+        Acceptable per-node power range of the application.  Scalars
+        describe a homogeneous cluster; per-node arrays (one entry per
+        participating node, in the same order as ``factors``) carry
+        each node's own range on a heterogeneous cluster.  Budgets are
+        kept inside every node's own range.
     threshold:
         Spread below which the split stays uniform.
 
@@ -116,50 +135,102 @@ def coordinate_power(
     Raises
     ------
     SchedulingError
-        If the budget cannot give every node at least ``lo_w``.
+        If the budget cannot give every node at least its own floor.
     """
     factors = np.asarray(factors, dtype=np.float64)
     n = len(factors)
     if n < 1:
         raise SchedulingError("need at least one participating node")
-    if lo_w <= 0 or hi_w < lo_w:
-        raise SchedulingError(f"invalid power range [{lo_w}, {hi_w}]")
-    if total_budget_w < n * lo_w - 1e-9:
+    lo_arr = np.asarray(lo_w, dtype=np.float64)
+    hi_arr = np.asarray(hi_w, dtype=np.float64)
+    if lo_arr.ndim == 0 and hi_arr.ndim == 0:
+        lo_s = float(lo_arr)
+        hi_s = float(hi_arr)
+        if lo_s <= 0 or hi_s < lo_s:
+            raise SchedulingError(f"invalid power range [{lo_s}, {hi_s}]")
+        if total_budget_w < n * lo_s - 1e-9:
+            raise SchedulingError(
+                f"budget {total_budget_w:.1f} W cannot give {n} nodes the "
+                f"floor of {lo_s:.1f} W each"
+            )
+        uniform = np.full(n, min(total_budget_w / n, hi_s))
+        spread = factors.max() / factors.min() - 1.0
+        if n == 1 or spread <= threshold:
+            return uniform
+
+        # Proportional split: node i needs factor_i times the watts of
+        # the nominal part to sustain the same frequency.  Clamp into
+        # the acceptable range and hand clipped surplus back
+        # proportionally.
+        budgets = np.clip(total_budget_w * factors / factors.sum(), lo_s, hi_s)
+        deficit = budgets.sum() - total_budget_w
+        if deficit > 1e-9:
+            # Clamping weak nodes up to lo_w pushed the sum past the
+            # budget; take the overage back from nodes above the floor,
+            # proportionally to their headroom.  The feasibility guard
+            # above guarantees sum(room) = sum - n*lo >= deficit, so one
+            # proportional pass lands exactly on the budget without
+            # dropping anyone below lo_w.
+            room = budgets - lo_s
+            budgets = budgets - deficit * room / room.sum()
+            return np.clip(budgets, lo_s, hi_s)
+        surplus = -deficit
+        for _ in range(8):
+            if surplus <= 1e-9:
+                break
+            room = hi_s - budgets
+            open_idx = room > 1e-12
+            if not np.any(open_idx):
+                break
+            add = np.zeros(n)
+            add[open_idx] = surplus * factors[open_idx] / factors[open_idx].sum()
+            new = np.minimum(budgets + add, hi_s)
+            surplus -= float((new - budgets).sum())
+            budgets = new
+        return budgets
+
+    # -- per-node ranges (heterogeneous clusters) -----------------------
+    # Even a below-threshold spread must respect per-node bounds, so
+    # the clamp-and-redistribute machinery always runs: start from the
+    # target split (uniform or factor-proportional), clip into each
+    # node's own range, then move the clipping error back onto nodes
+    # with headroom.
+    lo = np.array(np.broadcast_to(lo_arr, (n,)), dtype=np.float64)
+    hi = np.array(np.broadcast_to(hi_arr, (n,)), dtype=np.float64)
+    if np.any(lo <= 0) or np.any(hi < lo):
         raise SchedulingError(
-            f"budget {total_budget_w:.1f} W cannot give {n} nodes the "
-            f"floor of {lo_w:.1f} W each"
+            f"invalid per-node power ranges [{lo.tolist()}, {hi.tolist()}]"
         )
-    uniform = np.full(n, min(total_budget_w / n, hi_w))
+    if total_budget_w < lo.sum() - 1e-9:
+        raise SchedulingError(
+            f"budget {total_budget_w:.1f} W cannot give {n} nodes their "
+            f"floors summing to {lo.sum():.1f} W"
+        )
     spread = factors.max() / factors.min() - 1.0
     if n == 1 or spread <= threshold:
-        return uniform
-
-    # Proportional split: node i needs factor_i times the watts of the
-    # nominal part to sustain the same frequency.  Clamp into the
-    # acceptable range and hand clipped surplus back proportionally.
-    budgets = np.clip(total_budget_w * factors / factors.sum(), lo_w, hi_w)
+        raw = np.full(n, total_budget_w / n)
+        weights = np.ones(n)
+    else:
+        raw = total_budget_w * factors / factors.sum()
+        weights = factors
+    budgets = np.clip(raw, lo, hi)
     deficit = budgets.sum() - total_budget_w
     if deficit > 1e-9:
-        # Clamping weak nodes up to lo_w pushed the sum past the
-        # budget; take the overage back from nodes above the floor,
-        # proportionally to their headroom.  The feasibility guard
-        # above guarantees sum(room) = sum - n*lo >= deficit, so one
-        # proportional pass lands exactly on the budget without
-        # dropping anyone below lo_w.
-        room = budgets - lo_w
-        budgets = budgets - deficit * room / room.sum()
-        return np.clip(budgets, lo_w, hi_w)
+        room = budgets - lo
+        if room.sum() > 1e-12:
+            budgets = budgets - deficit * room / room.sum()
+        return np.clip(budgets, lo, hi)
     surplus = -deficit
     for _ in range(8):
         if surplus <= 1e-9:
             break
-        room = hi_w - budgets
+        room = hi - budgets
         open_idx = room > 1e-12
         if not np.any(open_idx):
             break
         add = np.zeros(n)
-        add[open_idx] = surplus * factors[open_idx] / factors[open_idx].sum()
-        new = np.minimum(budgets + add, hi_w)
+        add[open_idx] = surplus * weights[open_idx] / weights[open_idx].sum()
+        new = np.minimum(budgets + add, hi)
         surplus -= float((new - budgets).sum())
         budgets = new
     return budgets

@@ -83,7 +83,7 @@ class InflectionPredictor:
         """
         feats: list[np.ndarray] = []
         targets: list[float] = []
-        node = profiler._engine.cluster.spec.node
+        node = profiler.node_spec
         for app in corpus:
             prof = profiler.profile(app)
             if prof.scalability_class is ScalabilityClass.LINEAR:

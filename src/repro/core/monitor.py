@@ -28,16 +28,42 @@ __all__ = ["CapAudit", "BudgetInvariantMonitor"]
 AUDIT_TOLERANCE_W = 1e-6
 
 
+def _per_rank_bounds(bound, n_ranks: int) -> list[float] | None:
+    """Normalize a scalar-or-sequence bound to one float per rank."""
+    if bound is None:
+        return None
+    if isinstance(bound, (int, float)):
+        return [float(bound)] * n_ranks
+    seq = [float(b) for b in bound]
+    if len(seq) != n_ranks:
+        raise ValueError(
+            f"per-rank bounds cover {len(seq)} ranks, cap set has {n_ranks}"
+        )
+    return seq
+
+
+def _bound_field(bound):
+    """The bound as stored on :class:`CapAudit` (scalar or tuple)."""
+    if bound is None or isinstance(bound, (int, float)):
+        return bound if bound is None else float(bound)
+    return tuple(float(b) for b in bound)
+
+
 @dataclass(frozen=True)
 class CapAudit:
-    """One audited cap set: who issued what against which budget."""
+    """One audited cap set: who issued what against which budget.
+
+    ``node_lo_w`` / ``node_hi_w`` are floats when every rank shares one
+    acceptable range (homogeneous cluster) and per-rank tuples when
+    each slot carries its own (heterogeneous cluster).
+    """
 
     source: str
     app_name: str
     cluster_budget_w: float
     caps: tuple[tuple[float, float], ...]
-    node_lo_w: float | None
-    node_hi_w: float | None
+    node_lo_w: float | tuple[float, ...] | None
+    node_hi_w: float | tuple[float, ...] | None
     violations: tuple[str, ...]
 
     @property
@@ -58,8 +84,16 @@ class CapAudit:
             "cluster_budget_w": self.cluster_budget_w,
             "total_capped_w": self.total_capped_w,
             "n_nodes": len(self.caps),
-            "node_lo_w": self.node_lo_w,
-            "node_hi_w": self.node_hi_w,
+            "node_lo_w": (
+                list(self.node_lo_w)
+                if isinstance(self.node_lo_w, tuple)
+                else self.node_lo_w
+            ),
+            "node_hi_w": (
+                list(self.node_hi_w)
+                if isinstance(self.node_hi_w, tuple)
+                else self.node_hi_w
+            ),
             "ok": self.ok,
             "violations": list(self.violations),
         }
@@ -83,8 +117,8 @@ class BudgetInvariantMonitor:
         app_name: str,
         cluster_budget_w: float,
         caps: tuple[tuple[float, float], ...],
-        node_lo_w: float | None = None,
-        node_hi_w: float | None = None,
+        node_lo_w: "float | Sequence[float] | None" = None,
+        node_hi_w: "float | Sequence[float] | None" = None,
         tolerance_w: float = AUDIT_TOLERANCE_W,
     ) -> CapAudit:
         """Record one issued cap set and check the invariants.
@@ -92,9 +126,14 @@ class BudgetInvariantMonitor:
         Checks: the summed (PKG + DRAM) caps stay at or under
         ``cluster_budget_w``; when the acceptable range is supplied,
         every node's total cap sits in ``[node_lo_w, node_hi_w]``.
-        Range checks use a relative tolerance on top of *tolerance_w*
-        so legitimate float round-off never flags.
+        Bounds may be scalars (one range for all ranks) or per-rank
+        sequences aligned with *caps* — the heterogeneous-cluster form,
+        where each slot's class has its own range.  Range checks use a
+        relative tolerance on top of *tolerance_w* so legitimate float
+        round-off never flags.
         """
+        lo_seq = _per_rank_bounds(node_lo_w, len(caps))
+        hi_seq = _per_rank_bounds(node_hi_w, len(caps))
         violations: list[str] = []
         total = float(sum(pkg + dram for pkg, dram in caps))
         slack = tolerance_w + 1e-9 * max(abs(cluster_budget_w), 1.0)
@@ -105,27 +144,29 @@ class BudgetInvariantMonitor:
             )
         for rank, (pkg, dram) in enumerate(caps):
             node_total = pkg + dram
+            lo = lo_seq[rank] if lo_seq is not None else None
+            hi = hi_seq[rank] if hi_seq is not None else None
             if pkg < -tolerance_w or dram < -tolerance_w:
                 violations.append(
                     f"node {rank}: negative cap ({pkg:.3f}, {dram:.3f}) W"
                 )
-            if node_lo_w is not None and node_total < node_lo_w - slack:
+            if lo is not None and node_total < lo - slack:
                 violations.append(
                     f"node {rank}: cap {node_total:.3f} W below the "
-                    f"acceptable floor {node_lo_w:.3f} W"
+                    f"acceptable floor {lo:.3f} W"
                 )
-            if node_hi_w is not None and node_total > node_hi_w + slack:
+            if hi is not None and node_total > hi + slack:
                 violations.append(
                     f"node {rank}: cap {node_total:.3f} W above the "
-                    f"acceptable ceiling {node_hi_w:.3f} W"
+                    f"acceptable ceiling {hi:.3f} W"
                 )
         audit = CapAudit(
             source=source,
             app_name=app_name,
             cluster_budget_w=cluster_budget_w,
             caps=tuple((float(p), float(d)) for p, d in caps),
-            node_lo_w=node_lo_w,
-            node_hi_w=node_hi_w,
+            node_lo_w=_bound_field(node_lo_w),
+            node_hi_w=_bound_field(node_hi_w),
             violations=tuple(violations),
         )
         self.audits.append(audit)

@@ -118,15 +118,18 @@ class ModelBundle:
 class ModelBundleCache:
     """Caches :class:`ModelBundle`\\ s keyed on knowledge-DB entries.
 
-    The key is the entry's ``(app_name, problem_size)``; a cached
-    bundle is only served while its entry is still the one in the
-    knowledge DB (re-profiling an app invalidates its bundle).  The
-    ``hits`` / ``misses`` counters let tests assert the warm path
-    builds each bundle exactly once.
+    The key is ``(app_name, problem_size, node_class)``: on a
+    heterogeneous cluster the same knowledge entry carries one fitted
+    triple per hardware class (the power coefficients differ), while a
+    homogeneous cluster sees exactly the old one-bundle-per-entry
+    behavior.  A cached bundle is only served while its entry is still
+    the one in the knowledge DB (re-profiling an app invalidates its
+    bundles).  The ``hits`` / ``misses`` counters let tests assert the
+    warm path builds each bundle exactly once.
     """
 
     def __init__(self):
-        self._bundles: dict[tuple[str, str], ModelBundle] = {}
+        self._bundles: dict[tuple[str, str, str], ModelBundle] = {}
         self.hits = 0
         self.misses = 0
 
@@ -134,8 +137,10 @@ class ModelBundleCache:
         return len(self._bundles)
 
     def get_or_build(self, entry: KnowledgeEntry, node: NodeSpec) -> ModelBundle:
-        """Return the entry's bundle, fitting the models on first use."""
-        cached = self._bundles.get(entry.key)
+        """Return the entry's bundle for *node*'s class, fitting the
+        models on first use."""
+        key = entry.key + (node.name,)
+        cached = self._bundles.get(key)
         if cached is not None and (
             cached.entry is entry or cached.entry == entry
         ):
@@ -143,15 +148,16 @@ class ModelBundleCache:
             return cached
         self.misses += 1
         bundle = ModelBundle.from_entry(entry, node)
-        self._bundles[entry.key] = bundle
+        self._bundles[key] = bundle
         return bundle
 
     def invalidate(self, key: tuple[str, str] | None = None) -> None:
-        """Drop one key (or everything) from the cache."""
+        """Drop one entry's bundles (every class) or everything."""
         if key is None:
             self._bundles.clear()
         else:
-            self._bundles.pop(key, None)
+            for k in [k for k in self._bundles if k[:2] == tuple(key)]:
+                self._bundles.pop(k, None)
 
 
 # ----------------------------------------------------------------------
@@ -207,19 +213,29 @@ class SchedulingDecision:
     # -- serialization -------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-safe representation (persisted / wire format)."""
+        """JSON-safe representation (persisted / wire format).
+
+        The per-slot ``node_ranges_w`` key appears only for decisions
+        made on a heterogeneous cluster, so homogeneous documents stay
+        byte-identical to previous releases.
+        """
+        alloc_dict = {
+            "n_nodes": self.allocation.n_nodes,
+            "node_budgets_w": list(self.allocation.node_budgets_w),
+            "node_lo_w": self.allocation.node_lo_w,
+            "node_hi_w": self.allocation.node_hi_w,
+            "predicted_cluster_perf": self.allocation.predicted_cluster_perf,
+        }
+        if self.allocation.node_ranges_w is not None:
+            alloc_dict["node_ranges_w"] = [
+                [lo, hi] for lo, hi in self.allocation.node_ranges_w
+            ]
         return {
             "app_name": self.app_name,
             "cluster_budget_w": self.cluster_budget_w,
             "scalability_class": self.scalability_class.value,
             "inflection_point": self.inflection_point,
-            "allocation": {
-                "n_nodes": self.allocation.n_nodes,
-                "node_budgets_w": list(self.allocation.node_budgets_w),
-                "node_lo_w": self.allocation.node_lo_w,
-                "node_hi_w": self.allocation.node_hi_w,
-                "predicted_cluster_perf": self.allocation.predicted_cluster_perf,
-            },
+            "allocation": alloc_dict,
             "node_configs": [
                 {
                     "n_threads": c.n_threads,
@@ -249,6 +265,14 @@ class SchedulingDecision:
                 node_lo_w=float(alloc["node_lo_w"]),
                 node_hi_w=float(alloc["node_hi_w"]),
                 predicted_cluster_perf=float(alloc["predicted_cluster_perf"]),
+                node_ranges_w=(
+                    tuple(
+                        (float(lo), float(hi))
+                        for lo, hi in alloc["node_ranges_w"]
+                    )
+                    if alloc.get("node_ranges_w") is not None
+                    else None
+                ),
             ),
             node_configs=tuple(
                 NodeConfig(
@@ -476,7 +500,14 @@ class FitModelsStage:
 
 
 class AllocateStage:
-    """Choose the node count and variability-coordinated per-node budgets."""
+    """Choose the node count and variability-coordinated per-node budgets.
+
+    On a heterogeneous cluster (``node_specs`` given) each slot's own
+    acceptable power range — from its hardware class's fitted power
+    model — is handed to the allocator, so a Broadwell slot is budgeted
+    against Broadwell coefficients even though the decision's
+    concurrency is uniform.
+    """
 
     name = "allocate"
 
@@ -485,10 +516,26 @@ class AllocateStage:
         n_total_nodes: int,
         node_factors: np.ndarray,
         variability_threshold: float,
+        node_specs: tuple[NodeSpec, ...] | None = None,
+        bundle_cache: ModelBundleCache | None = None,
     ):
         self._n_total = n_total_nodes
         self._factors = node_factors
         self._threshold = variability_threshold
+        self._node_specs = node_specs
+        self._cache = bundle_cache
+
+    def _slot_ranges(
+        self, ctx: DecisionContext
+    ) -> tuple[tuple[float, float], ...] | None:
+        if self._node_specs is None:
+            return None
+        by_spec: dict[NodeSpec, tuple[float, float]] = {}
+        for spec in dict.fromkeys(self._node_specs):
+            rec = self._cache.get_or_build(ctx.entry, spec).recommender
+            rng = rec.power_model.power_range(rec.unbounded_concurrency())
+            by_spec[spec] = (rec.min_floor_w(), rng.node_hi_w)
+        return tuple(by_spec[s] for s in self._node_specs)
 
     def run(self, ctx: DecisionContext) -> DecisionContext:
         """Fill ``ctx.allocation``."""
@@ -497,6 +544,7 @@ class AllocateStage:
             self._n_total,
             node_factors=self._factors,
             variability_threshold=self._threshold,
+            node_ranges=self._slot_ranges(ctx),
         )
         allocation = allocator.allocate(
             ctx.cluster_budget_w,
@@ -514,20 +562,38 @@ class AllocateStage:
 
 
 class RecommendStage:
-    """Recommend per-node configs for each node's budget; emit the decision."""
+    """Recommend per-node configs for each node's budget; emit the decision.
+
+    On a heterogeneous cluster each slot's budget is split into PKG and
+    DRAM caps by its own class's power model, so the cap pair matches
+    the silicon it will be programmed on.
+    """
 
     name = "recommend"
+
+    def __init__(
+        self,
+        node_specs: tuple[NodeSpec, ...] | None = None,
+        bundle_cache: ModelBundleCache | None = None,
+    ):
+        self._node_specs = node_specs
+        self._cache = bundle_cache
 
     def run(self, ctx: DecisionContext) -> DecisionContext:
         """Fill ``ctx.decision``."""
         recommender = ctx.bundle.recommender
-        power_model = ctx.bundle.power_model
         allocation = ctx.allocation
         configs = []
         base = recommender.recommend(min(allocation.node_budgets_w))
-        for budget in allocation.node_budgets_w:
+        for rank, budget in enumerate(allocation.node_budgets_w):
             # Keep concurrency uniform across ranks (one decomposition);
             # each node spends its own budget on frequency headroom.
+            if self._node_specs is None:
+                power_model = ctx.bundle.power_model
+            else:
+                power_model = self._cache.get_or_build(
+                    ctx.entry, self._node_specs[rank]
+                ).power_model
             pkg, dram = power_model.split_node_budget(budget, base.n_threads)
             f = power_model.max_freq_under(pkg, base.n_threads)
             configs.append(
@@ -609,7 +675,11 @@ class DecisionPipeline:
         )
         self._threshold = variability_threshold
         self._bundles = ModelBundleCache()
-        node = engine.cluster.spec.node
+        cluster_spec = engine.cluster.spec
+        self._node_specs = cluster_spec.node_specs
+        self._hetero = not cluster_spec.is_homogeneous
+        hetero_specs = self._node_specs if self._hetero else None
+        node = self._node_specs[0]
         self._knowledge_stages = (
             ProfileStage(self._kb, self._profiler),
             ClassifyStage(),
@@ -618,9 +688,16 @@ class DecisionPipeline:
         self._model_stage = FitModelsStage(self._bundles, node)
         self._decision_stages = (
             AllocateStage(
-                engine.cluster.n_nodes, self._factors, variability_threshold
+                engine.cluster.n_nodes,
+                self._factors,
+                variability_threshold,
+                node_specs=hetero_specs,
+                bundle_cache=self._bundles if self._hetero else None,
             ),
-            RecommendStage(),
+            RecommendStage(
+                node_specs=hetero_specs,
+                bundle_cache=self._bundles if self._hetero else None,
+            ),
         )
 
     # -- shared state --------------------------------------------------
@@ -703,10 +780,25 @@ class DecisionPipeline:
         return self._ensure_knowledge_ctx(ctx, None).entry
 
     def bundle_for(self, app: WorkloadCharacteristics) -> ModelBundle:
-        """The app's fitted model bundle (stages 1–4, cached)."""
+        """The app's fitted model bundle (stages 1–4, cached).
+
+        On a heterogeneous cluster this is the primary (slot-0) class's
+        bundle; use :meth:`class_bundle` for another hardware class.
+        """
         ctx = DecisionContext(app=app, cluster_budget_w=0.0)
         ctx = self._ensure_knowledge_ctx(ctx, None)
         return self._run_stage(self._model_stage, ctx, None).bundle
+
+    def class_bundle(
+        self, entry: KnowledgeEntry, node: NodeSpec
+    ) -> ModelBundle:
+        """The entry's bundle fitted for one hardware class (cached)."""
+        return self._bundles.get_or_build(entry, node)
+
+    @property
+    def node_specs(self) -> tuple[NodeSpec, ...]:
+        """Per-slot node specs of the cluster decisions are made for."""
+        return self._node_specs
 
     def decide(
         self,
@@ -775,16 +867,33 @@ class DecisionPipeline:
         :meth:`~repro.core.powermodel.ClipPowerModel.cap_ceiling_w`.
         """
         decision = ctx.decision
-        power = ctx.bundle.power_model
-        rng = power.power_range(decision.n_threads)
+        if not self._hetero:
+            power = ctx.bundle.power_model
+            rng = power.power_range(decision.n_threads)
+            lo_bound: float | tuple = rng.node_lo_w
+            hi_bound: float | tuple = power.cap_ceiling_w(decision.n_threads)
+        else:
+            # per-rank bounds from each slot's own class power model
+            models = [
+                self._bundles.get_or_build(
+                    ctx.entry, self._node_specs[r]
+                ).power_model
+                for r in range(decision.n_nodes)
+            ]
+            lo_bound = tuple(
+                m.power_range(decision.n_threads).node_lo_w for m in models
+            )
+            hi_bound = tuple(
+                m.cap_ceiling_w(decision.n_threads) for m in models
+            )
         start = time.perf_counter()
         audit = self._monitor.audit(
             "pipeline",
             decision.app_name,
             decision.cluster_budget_w,
             tuple((c.pkg_cap_w, c.dram_cap_w) for c in decision.node_configs),
-            node_lo_w=rng.node_lo_w,
-            node_hi_w=power.cap_ceiling_w(decision.n_threads),
+            node_lo_w=lo_bound,
+            node_hi_w=hi_bound,
         )
         if trace is not None:
             trace.record(

@@ -189,7 +189,10 @@ class SmartProfiler:
             raise ProfilingError("profiling needs at least one iteration")
         self._engine = engine
         self._iterations = iterations
-        node = engine.cluster.spec.node
+        # samples run single-node on slot 0, so the profile describes
+        # the cluster's primary hardware class
+        node = engine.cluster.spec.node_specs[0]
+        self._node_spec = node
         self._n_cores = node.n_cores
         self._peak_bw = node.peak_bandwidth
 
@@ -197,6 +200,11 @@ class SmartProfiler:
     def iterations(self) -> int:
         """Iterations each sample execution runs."""
         return self._iterations
+
+    @property
+    def node_spec(self):
+        """The node class the sample executions run on (slot 0's)."""
+        return self._node_spec
 
     def _sample(
         self,
@@ -213,7 +221,7 @@ class SmartProfiler:
         higher than an all-core sample and the classification ratio
         would conflate frequency headroom with thread scalability.
         """
-        socket = self._engine.cluster.spec.node.socket
+        socket = self._node_spec.socket
         # Both frequency points of the sample go through the batched
         # evaluation path as one candidate set: a single array program,
         # memoized via the engine cache when one is attached.

@@ -42,6 +42,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.coordination import coordinate_power, measure_node_factors
 from repro.core.monitor import BudgetInvariantMonitor
 from repro.core.recommend import Recommender
@@ -221,12 +223,21 @@ class PowerBoundedRuntime:
         recommender: Recommender,
         budget_w: float,
         node_ids: tuple[int, ...],
-    ) -> tuple[int, tuple[tuple[float, float], ...], float, float]:
+    ) -> tuple[int, tuple[tuple[float, float], ...], object, object]:
         """Compute a full candidate cap set without touching the job.
 
         Returns ``(n_threads, per_node_caps, lo_w, hi_w)`` or raises
         :class:`InfeasibleBudgetError`; the caller commits atomically.
+        On a heterogeneous node set the bounds are per-rank tuples and
+        every slot's budget is split by its own class's power model.
         """
+        pipeline = self._scheduler.pipeline
+        specs = pipeline.node_specs
+        id_specs = [specs[i] for i in node_ids]
+        if any(s != specs[0] for s in id_specs):
+            return self._plan_hetero(
+                job, recommender, budget_w, node_ids, id_specs
+            )
         power = recommender.power_model
         n_nodes = len(node_ids)
         n_threads = job.n_threads
@@ -251,6 +262,58 @@ class PowerBoundedRuntime:
             power.split_node_budget(float(b), n_threads) for b in budgets
         )
         return n_threads, caps, lo, hi
+
+    def _plan_hetero(
+        self,
+        job: RunningJob,
+        recommender: Recommender,
+        budget_w: float,
+        node_ids: tuple[int, ...],
+        id_specs: list,
+    ) -> tuple[int, tuple[tuple[float, float], ...], object, object]:
+        """The :meth:`_plan` arithmetic over per-slot class models."""
+        pipeline = self._scheduler.pipeline
+        entry = pipeline.ensure_knowledge(job.app)
+        models = [
+            pipeline.class_bundle(entry, s).power_model for s in id_specs
+        ]
+        n_nodes = len(node_ids)
+        n_threads = job.n_threads
+
+        def ranges_at(nt: int) -> tuple[np.ndarray, np.ndarray]:
+            rngs = [m.power_range(nt) for m in models]
+            return (
+                np.array([r.node_lo_w for r in rngs]),
+                np.array([r.node_hi_w for r in rngs]),
+            )
+
+        lo_arr, hi_arr = ranges_at(n_threads)
+        if budget_w < lo_arr.sum():
+            if not job.allow_concurrency_change:
+                raise InfeasibleBudgetError(
+                    f"budget {budget_w:.0f} W below the {n_nodes}-node "
+                    f"floor at the pinned concurrency {n_threads}"
+                )
+            cfg = recommender.recommend(budget_w / n_nodes)
+            n_threads = cfg.n_threads
+            lo_arr, hi_arr = ranges_at(n_threads)
+        factors = self._factors[list(node_ids)]
+        budgets = coordinate_power(
+            min(budget_w, float(hi_arr.sum())),
+            factors,
+            lo_w=lo_arr,
+            hi_w=hi_arr,
+        )
+        caps = tuple(
+            m.split_node_budget(float(b), n_threads)
+            for m, b in zip(models, budgets)
+        )
+        return (
+            n_threads,
+            caps,
+            tuple(float(x) for x in lo_arr),
+            tuple(float(x) for x in hi_arr),
+        )
 
     def _recoordinate(
         self,

@@ -27,11 +27,13 @@ from repro.hw.specs import (
     SocketSpec,
     MemorySpec,
     NodeSpec,
+    NodeGroup,
     ClusterSpec,
     haswell_node,
     haswell_testbed,
     broadwell_node,
     broadwell_testbed,
+    mixed_testbed,
 )
 from repro.hw.dvfs import FrequencyLadder, DvfsController
 from repro.hw.power import PowerModel, PowerBreakdown
@@ -50,11 +52,13 @@ __all__ = [
     "SocketSpec",
     "MemorySpec",
     "NodeSpec",
+    "NodeGroup",
     "ClusterSpec",
     "haswell_node",
     "haswell_testbed",
     "broadwell_node",
     "broadwell_testbed",
+    "mixed_testbed",
     "FrequencyLadder",
     "DvfsController",
     "PowerModel",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.errors import NodeFailureError, SpecError
 from repro.hw.node import SimulatedNode
-from repro.hw.specs import ClusterSpec, haswell_testbed
+from repro.hw.specs import ClusterSpec, haswell_testbed, mixed_testbed
 from repro.hw.variability import VariabilityModel
 
 __all__ = ["SimulatedCluster"]
@@ -26,8 +26,10 @@ class SimulatedCluster:
             spec.n_nodes, sigma=spec.variability_sigma, seed=spec.variability_seed
         )
         self._nodes = [
-            SimulatedNode(spec.node, node_id=i, efficiency=f)
-            for i, f in enumerate(self._variability.factors)
+            SimulatedNode(node_spec, node_id=i, efficiency=f)
+            for i, (node_spec, f) in enumerate(
+                zip(spec.node_specs, self._variability.factors)
+            )
         ]
         self._failed: set[int] = set()
 
@@ -35,6 +37,11 @@ class SimulatedCluster:
     def testbed(cls, **kwargs) -> "SimulatedCluster":
         """The paper's 8-node dual-socket Haswell testbed (§V-A)."""
         return cls(haswell_testbed(**kwargs))
+
+    @classmethod
+    def mixed_testbed(cls, **kwargs) -> "SimulatedCluster":
+        """The mixed fleet: 4× Haswell + 4× Broadwell behind one fabric."""
+        return cls(mixed_testbed(**kwargs))
 
     @property
     def spec(self) -> ClusterSpec:
@@ -66,8 +73,10 @@ class SimulatedCluster:
         if factor <= 0:
             raise SpecError(f"degradation factor must be > 0, got {factor}")
         old = self._nodes[node_id]
+        # rebuild from the failed node's *own* spec — in a mixed cluster
+        # a degraded Broadwell slot must come back as a Broadwell
         replacement = SimulatedNode(
-            self._spec.node, node_id=node_id,
+            old.spec, node_id=node_id,
             efficiency=old.efficiency * factor,
         )
         self._nodes[node_id] = replacement
@@ -99,7 +108,7 @@ class SimulatedCluster:
             raise NodeFailureError(f"node {node_id} is not failed")
         old = self._nodes[node_id]
         self._nodes[node_id] = SimulatedNode(
-            self._spec.node, node_id=node_id, efficiency=old.efficiency
+            old.spec, node_id=node_id, efficiency=old.efficiency
         )
         self._failed.discard(node_id)
         return self._nodes[node_id]
@@ -149,4 +158,6 @@ class SimulatedCluster:
     @property
     def p_other_total_w(self) -> float:
         """Total uncapped component power when all nodes are on."""
-        return self.n_nodes * self._spec.node.p_other_w
+        if self._spec.is_homogeneous:
+            return self.n_nodes * self._spec.node.p_other_w
+        return float(sum(s.p_other_w for s in self._spec.node_specs))

@@ -25,11 +25,13 @@ __all__ = [
     "SocketSpec",
     "MemorySpec",
     "NodeSpec",
+    "NodeGroup",
     "ClusterSpec",
     "haswell_node",
     "haswell_testbed",
     "broadwell_node",
     "broadwell_testbed",
+    "mixed_testbed",
     "HASWELL_FREQ_LADDER_GHZ",
     "BROADWELL_FREQ_LADDER_GHZ",
 ]
@@ -257,41 +259,173 @@ class NodeSpec:
 
 
 @dataclass(frozen=True)
+class NodeGroup:
+    """A run of identical nodes inside a (possibly mixed) cluster.
+
+    Clusters are described as an ordered list of groups — e.g.
+    4× Haswell followed by 4× Broadwell — and slot ids are assigned in
+    group order: the first ``count`` slots carry the first group's spec,
+    and so on.
+    """
+
+    spec: NodeSpec
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SpecError(f"node group needs >= 1 node, got {self.count}")
+
+
 class ClusterSpec:
-    """A homogeneous cluster of nodes plus its interconnect.
+    """A cluster of nodes plus its interconnect.
+
+    The node population is an ordered tuple of :class:`NodeGroup`\\ s;
+    homogeneous clusters are the one-group special case and may still be
+    constructed with the legacy ``n_nodes=``/``node=`` keywords.  The
+    per-slot view is :attr:`node_specs`; the legacy :attr:`node`
+    property remains valid only for single-group clusters and raises
+    :class:`SpecError` on mixed ones.
 
     ``variability_sigma`` is the relative standard deviation of each
     node's power-efficiency multiplier due to manufacturing variability
     (§III-B.2); the paper's testbed is "quite homogeneous" so the
     default is small.  The interconnect is described by an alpha–beta
     model consumed by :mod:`repro.sim.mpi`.
+
+    Instances are immutable and hashable (run-cache keys include the
+    cluster spec).
     """
 
-    name: str = "cluster"
-    n_nodes: int = 8
-    node: NodeSpec = field(default_factory=NodeSpec)
-    link_latency_s: float = 1.5e-6
-    link_bandwidth: float = gbps(6.8)
-    variability_sigma: float = 0.03
-    variability_seed: int = 2017
+    __slots__ = (
+        "name",
+        "groups",
+        "link_latency_s",
+        "link_bandwidth",
+        "variability_sigma",
+        "variability_seed",
+        "_node_specs",
+    )
 
-    def __post_init__(self) -> None:
-        if self.n_nodes < 1:
-            raise SpecError(f"cluster needs >= 1 node, got {self.n_nodes}")
-        if self.link_latency_s < 0 or self.link_bandwidth <= 0:
+    def __init__(
+        self,
+        name: str = "cluster",
+        n_nodes: int | None = None,
+        node: NodeSpec | None = None,
+        *,
+        groups: tuple[NodeGroup, ...] | None = None,
+        link_latency_s: float = 1.5e-6,
+        link_bandwidth: float = gbps(6.8),
+        variability_sigma: float = 0.03,
+        variability_seed: int = 2017,
+    ):
+        if groups is not None:
+            if n_nodes is not None or node is not None:
+                raise SpecError(
+                    "pass either groups= or the legacy n_nodes=/node= "
+                    "keywords, not both"
+                )
+            groups = tuple(groups)
+            if not groups:
+                raise SpecError("cluster needs >= 1 node group")
+            for g in groups:
+                if not isinstance(g, NodeGroup):
+                    raise SpecError(f"groups must contain NodeGroup, got {g!r}")
+        else:
+            count = 8 if n_nodes is None else n_nodes
+            if count < 1:
+                raise SpecError(f"cluster needs >= 1 node, got {count}")
+            groups = (NodeGroup(node if node is not None else NodeSpec(), count),)
+        if link_latency_s < 0 or link_bandwidth <= 0:
             raise SpecError("interconnect parameters must be valid")
-        if not 0.0 <= self.variability_sigma < 0.5:
+        if not 0.0 <= variability_sigma < 0.5:
             raise SpecError("variability_sigma must lie in [0, 0.5)")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "groups", groups)
+        object.__setattr__(self, "link_latency_s", link_latency_s)
+        object.__setattr__(self, "link_bandwidth", link_bandwidth)
+        object.__setattr__(self, "variability_sigma", variability_sigma)
+        object.__setattr__(self, "variability_seed", variability_seed)
+        object.__setattr__(
+            self,
+            "_node_specs",
+            tuple(g.spec for g in groups for _ in range(g.count)),
+        )
+
+    def __setattr__(self, key, value):
+        raise AttributeError(f"ClusterSpec is immutable (tried to set {key!r})")
+
+    def __delattr__(self, key):
+        raise AttributeError(f"ClusterSpec is immutable (tried to delete {key!r})")
+
+    def _identity(self) -> tuple:
+        return (
+            self.name,
+            self.groups,
+            self.link_latency_s,
+            self.link_bandwidth,
+            self.variability_sigma,
+            self.variability_seed,
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ClusterSpec):
+            return NotImplemented
+        return self._identity() == other._identity()
+
+    def __hash__(self) -> int:
+        return hash(self._identity())
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterSpec(name={self.name!r}, groups={self.groups!r}, "
+            f"link_latency_s={self.link_latency_s!r}, "
+            f"link_bandwidth={self.link_bandwidth!r}, "
+            f"variability_sigma={self.variability_sigma!r}, "
+            f"variability_seed={self.variability_seed!r})"
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of node slots across all groups."""
+        return sum(g.count for g in self.groups)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether every slot carries the same node spec."""
+        return len(self.groups) == 1
+
+    @property
+    def node(self) -> NodeSpec:
+        """The single node spec of a homogeneous cluster.
+
+        Mixed clusters have no "the" node; use :attr:`node_specs`.
+        """
+        if not self.is_homogeneous:
+            raise SpecError(
+                f"cluster {self.name!r} is heterogeneous "
+                f"({len(self.groups)} node groups); use node_specs"
+            )
+        return self.groups[0].spec
+
+    @property
+    def node_specs(self) -> tuple[NodeSpec, ...]:
+        """One :class:`NodeSpec` per slot, in slot-id order."""
+        return self._node_specs
 
     @property
     def total_cores(self) -> int:
         """Total physical cores in the cluster."""
-        return self.n_nodes * self.node.n_cores
+        return sum(g.count * g.spec.n_cores for g in self.groups)
 
     @property
     def p_cluster_max_w(self) -> float:
         """Peak cluster power (all nodes flat out)."""
-        return self.n_nodes * self.node.p_node_max_w
+        if self.is_homogeneous:
+            # keep the seed's count * value arithmetic bit-identical
+            return self.n_nodes * self.groups[0].spec.p_node_max_w
+        return float(
+            sum(g.count * g.spec.p_node_max_w for g in self.groups)
+        )
 
 
 def haswell_node(name: str = "haswell") -> NodeSpec:
@@ -361,6 +495,31 @@ def broadwell_testbed(
         node=broadwell_node(),
         link_latency_s=1.2e-6,
         link_bandwidth=gbps(12.0),
+        variability_sigma=variability_sigma,
+        variability_seed=seed,
+    )
+
+
+def mixed_testbed(
+    n_haswell: int = 4,
+    n_broadwell: int = 4,
+    variability_sigma: float = 0.03,
+    seed: int = 2017,
+) -> ClusterSpec:
+    """A mixed fleet: Haswell slots first, then Broadwell slots.
+
+    The incremental-procurement cluster: the original Haswell racks
+    plus a newer Broadwell purchase behind the same interconnect.  The
+    Haswell group comes first deliberately — slot 0 (where profiling
+    samples land) is the *smaller* node class, so a uniform per-rank
+    thread count chosen from it is valid on every slot.
+    """
+    return ClusterSpec(
+        name="mixed-testbed",
+        groups=(
+            NodeGroup(haswell_node(), n_haswell),
+            NodeGroup(broadwell_node(), n_broadwell),
+        ),
         variability_sigma=variability_sigma,
         variability_seed=seed,
     )

@@ -19,6 +19,13 @@ program:
   (candidate, node) cell freezes at exactly the round the scalar loop
   would have broken.
 
+Heterogeneous clusters are first-class: hardware constants are tabled
+per node *class* and gathered per (candidate, rank) cell, frequency
+ladders / ``pow`` tables are applied through per-class masks (a scalar
+exponent per class keeps the exact scalar ``np.power`` kernel), and
+placements are computed once per (class, candidate) pair — so a mixed
+Haswell + Broadwell fleet stays bit-exact against the scalar engine.
+
 The batch path is side-effect-free: it does not program RAPL caps,
 accumulate energy counters, or touch power meters.  That is what makes
 memoization sound — a cache hit answers "what would this run produce?"
@@ -159,51 +166,71 @@ class BatchEvaluator:
         self._engine = engine
         cluster = engine.cluster
         self._cluster = cluster
-        node = cluster.spec.node
-        self._node_spec = node
-        socket = node.socket
-        self._S = node.n_sockets
-        self._ladder = FrequencyLadder.from_socket(socket)
-        self._freqs = np.asarray(self._ladder.frequencies, dtype=np.float64)
-        core = socket.core
-        mem = socket.memory
-        # scalar constants, hoisted once
-        self._f_min = socket.f_min
-        self._f_max = socket.f_max
-        self._f_nom = socket.f_nominal
-        self._p_base_pkg = socket.p_base_w
-        self._p_leak = core.p_leak_w
-        self._p_dyn = core.p_dyn_w
-        self._k = core.dyn_exponent
-        self._inv_k = 1.0 / core.dyn_exponent
-        self._pkg_max = node.n_sockets * socket.tdp_w
-        self._p_base_mem = mem.p_base_w
-        self._p_load_mem = mem.p_load_max_w
-        self._peak_bw = mem.peak_bandwidth
-        self._bw_floor = mem.bandwidth_at_level(0)
-        self._ipc_peak = core.ipc_peak
-        self._dram_max = node.p_mem_max_w
-        self._p_other = node.p_other_w
-        # (f / f_nom) ** k per ladder frequency, evaluated through the
-        # same scalar np.power code path core_power uses on 0-d input
-        # (the vectorized SIMD pow can differ from it by 1 ulp)
-        self._pow_ladder = np.array(
-            [
-                float(
-                    np.power(
-                        np.asarray(f, dtype=np.float64) / self._f_nom,
-                        self._k,
-                    )
-                )
-                for f in self._ladder.frequencies
-            ]
+        specs = cluster.spec.node_specs
+        # the distinct hardware classes, in first-slot order; per-slot
+        # constants are gathered from these per-class tables at
+        # evaluation time, so a mixed cluster runs the same array
+        # program with per-cell coefficients
+        class_list = list(dict.fromkeys(specs))
+        self._class_list = class_list
+        self._slot_class = np.array(
+            [class_list.index(s) for s in specs], dtype=np.int64
         )
-        self._relmin_k = float(
-            np.power(
-                np.asarray(self._f_min, dtype=np.float64) / self._f_nom,
-                self._k,
+        self._S_max = max(s.n_sockets for s in class_list)
+        self._class_S_int = [s.n_sockets for s in class_list]
+        self._ladders = [
+            FrequencyLadder.from_socket(s.socket) for s in class_list
+        ]
+        self._freqs_k = [
+            np.asarray(lad.frequencies, dtype=np.float64)
+            for lad in self._ladders
+        ]
+
+        def scalar_pow(f: float, f_nom: float, k: float) -> float:
+            # the scalar np.power code path core_power uses on 0-d
+            # input (the vectorized SIMD pow can differ from it by 1 ulp)
+            return float(np.power(np.asarray(f, dtype=np.float64) / f_nom, k))
+
+        def per_class(fn) -> np.ndarray:
+            return np.array([fn(s) for s in class_list], dtype=np.float64)
+
+        self._inv_k_list = [
+            1.0 / s.socket.core.dyn_exponent for s in class_list
+        ]
+        # (f / f_nom) ** k per ladder frequency, per class
+        self._pow_ladder_k = [
+            np.array(
+                [
+                    scalar_pow(
+                        f, s.socket.f_nominal, s.socket.core.dyn_exponent
+                    )
+                    for f in lad.frequencies
+                ]
+            )
+            for s, lad in zip(class_list, self._ladders)
+        ]
+        self._c_relmin = per_class(
+            lambda s: scalar_pow(
+                s.socket.f_min, s.socket.f_nominal, s.socket.core.dyn_exponent
             )
         )
+        self._c_f_min = per_class(lambda s: s.socket.f_min)
+        self._c_f_max = per_class(lambda s: s.socket.f_max)
+        self._c_f_nom = per_class(lambda s: s.socket.f_nominal)
+        self._c_p_base_pkg = per_class(lambda s: s.socket.p_base_w)
+        self._c_p_leak = per_class(lambda s: s.socket.core.p_leak_w)
+        self._c_p_dyn = per_class(lambda s: s.socket.core.p_dyn_w)
+        self._c_pkg_max = per_class(lambda s: s.n_sockets * s.socket.tdp_w)
+        self._c_p_base_mem = per_class(lambda s: s.socket.memory.p_base_w)
+        self._c_p_load_mem = per_class(lambda s: s.socket.memory.p_load_max_w)
+        self._c_peak_bw = per_class(lambda s: s.socket.memory.peak_bandwidth)
+        self._c_bw_floor = per_class(
+            lambda s: s.socket.memory.bandwidth_at_level(0)
+        )
+        self._c_ipc = per_class(lambda s: s.socket.core.ipc_peak)
+        self._c_dram_max = per_class(lambda s: s.p_mem_max_w)
+        self._c_p_other = per_class(lambda s: s.p_other_w)
+        self._c_S = per_class(lambda s: s.n_sockets)
 
     # ------------------------------------------------------------------
 
@@ -249,22 +276,28 @@ class BatchEvaluator:
         configs: list["ExecutionConfig"],
     ) -> list[RunResult]:
         cluster = self._cluster
-        node_spec = self._node_spec
-        S = self._S
+        class_list = self._class_list
+        slot_class = self._slot_class
+        K = len(class_list)
+        S = self._S_max
         C = len(configs)
 
         # -- validation + per-config derived facts (cheap Python) -------
-        placements = []
         participants_ids: list[tuple[int, ...]] = []
         for cfg in configs:
             if cfg.n_nodes > cluster.n_nodes:
                 raise SchedulingError(
                     f"{cfg.n_nodes} nodes requested, cluster has {cluster.n_nodes}"
                 )
-            if cfg.n_threads > node_spec.n_cores:
+            if cfg.node_ids is not None:
+                ids = tuple(cluster.node(i).node_id for i in cfg.node_ids)
+            else:
+                ids = tuple(range(cfg.n_nodes))
+            min_cores = min(cluster.node(i).spec.n_cores for i in ids)
+            if cfg.n_threads > min_cores:
                 raise SchedulingError(
                     f"{cfg.n_threads} threads requested, node has "
-                    f"{node_spec.n_cores} cores"
+                    f"{min_cores} cores"
                 )
             for pkg_cap, dram_cap in (
                 cfg.per_node_caps
@@ -275,21 +308,6 @@ class BatchEvaluator:
                     check_non_negative(pkg_cap, "cap")
                 if dram_cap is not None:
                     check_non_negative(dram_cap, "cap")
-            topo = cluster.node(0).numa
-            if cfg.affinity is None:
-                placement = placement_for(
-                    topo, cfg.n_threads, app.shared_fraction,
-                    app.is_memory_intensive,
-                )
-            else:
-                placement = make_placement(
-                    topo, cfg.n_threads, cfg.affinity, app.shared_fraction
-                )
-            placements.append(placement)
-            if cfg.node_ids is not None:
-                ids = tuple(cluster.node(i).node_id for i in cfg.node_ids)
-            else:
-                ids = tuple(range(cfg.n_nodes))
             participants_ids.append(ids)
 
         NN = max(len(ids) for ids in participants_ids)
@@ -298,26 +316,87 @@ class BatchEvaluator:
         for c, ids in enumerate(participants_ids):
             mask[c, : len(ids)] = True
             node_index[c, : len(ids)] = ids
+            # pad inactive lanes with the config's own first participant:
+            # padded lanes are masked out of every result, but gathering
+            # them from a class that has no placement for this config
+            # would leave zero threads-per-socket and breed inf/NaN noise
+            node_index[c, len(ids):] = ids[0]
 
         eff_all = np.array([n.efficiency for n in cluster.nodes])
         eff = eff_all[node_index]  # (C, NN)
 
+        # per-cell hardware class + constants gathered from class tables
+        cls = slot_class[node_index]  # (C, NN)
+        cls_eq = [cls == k for k in range(K)]
+        cfg_idx = np.arange(C)[:, None]
+        f_min = self._c_f_min[cls]
+        f_max = self._c_f_max[cls]
+        f_nom = self._c_f_nom[cls]
+        p_base_pkg = self._c_p_base_pkg[cls]
+        p_leak = self._c_p_leak[cls]
+        p_dyn = self._c_p_dyn[cls]
+        p_base_mem = self._c_p_base_mem[cls]
+        p_load_mem = self._c_p_load_mem[cls]
+        peak_bw = self._c_peak_bw[cls]
+        bw_floor = self._c_bw_floor[cls]
+        relmin_k = self._c_relmin[cls]
+        S_cell = self._c_S[cls]
+        # socket-existence weights: needed only when classes disagree
+        # on socket count (weight 1.0 everywhere otherwise)
+        if len(set(self._class_S_int)) == 1:
+            sock_w = None
+        else:
+            sock_w = (
+                np.arange(S)[None, None, :] < S_cell[:, :, None]
+            ).astype(np.float64)
+
         # caps -> effective domain limits, like RaplDomain.effective_cap_w
-        pkg_cap = np.full((C, NN), self._pkg_max)
-        dram_cap = np.full((C, NN), self._dram_max)
+        pkg_cap = self._c_pkg_max[cls].copy()
+        dram_cap = self._c_dram_max[cls].copy()
         for c, cfg in enumerate(configs):
             for rank in range(len(participants_ids[c])):
                 p, d = cfg.caps_for(rank)
                 if p is not None:
-                    pkg_cap[c, rank] = min(p, self._pkg_max)
+                    pkg_cap[c, rank] = min(p, pkg_cap[c, rank])
                 if d is not None:
-                    dram_cap[c, rank] = min(d, self._dram_max)
+                    dram_cap[c, rank] = min(d, dram_cap[c, rank])
 
-        tps_full = np.array(
-            [p.threads_per_socket for p in placements], dtype=np.int64
-        )  # (C, S)
+        # per-(class, config) placements: every node of one hardware
+        # class shares a placement; a mixed run places each class on
+        # its own NUMA shape
+        placements_k: list[dict] = [{} for _ in range(K)]
+        topo_k: dict = {}
+        primary_k: list[int] = []
+        for c, (cfg, ids) in enumerate(zip(configs, participants_ids)):
+            primary_k.append(int(slot_class[ids[0]]))
+            for i in ids:
+                k = int(slot_class[i])
+                if c in placements_k[k]:
+                    continue
+                topo = cluster.node(i).numa
+                topo_k[k] = topo
+                if cfg.affinity is None:
+                    placement = placement_for(
+                        topo, cfg.n_threads, app.shared_fraction,
+                        app.is_memory_intensive,
+                    )
+                else:
+                    placement = make_placement(
+                        topo, cfg.n_threads, cfg.affinity, app.shared_fraction
+                    )
+                placements_k[k][c] = placement
+
+        tps_full_k = np.zeros((K, C, S), dtype=np.int64)
+        remote_k = np.zeros((K, C))
+        for k in range(K):
+            for c, placement in placements_k[k].items():
+                tps = placement.threads_per_socket
+                tps_full_k[k, c, : len(tps)] = tps
+                remote_k[k, c] = placement.remote_fraction
+        tps_full = tps_full_k[cls, cfg_idx]  # (C, NN, S)
+        remote = remote_k[cls, cfg_idx]  # (C, NN)
+
         n_threads = np.array([cfg.n_threads for cfg in configs], dtype=np.int64)
-        remote = np.array([p.remote_fraction for p in placements])
         iterations = np.array(
             [cfg.iterations or app.iterations for cfg in configs], dtype=np.int64
         )
@@ -328,11 +407,15 @@ class BatchEvaluator:
             ]
         )
 
-        # frequency pins -> quantized demand, like resolve()
-        f_demand = np.full(C, self._f_max)
+        # frequency pins -> quantized demand, like resolve(), against
+        # each participating node's own ladder
+        f_demand = f_max.copy()
         for c, cfg in enumerate(configs):
             if cfg.frequency_hz is not None:
-                f_demand[c] = self._ladder.quantize_down(cfg.frequency_hz)
+                for rank, i in enumerate(participants_ids[c]):
+                    f_demand[c, rank] = self._ladders[
+                        slot_class[i]
+                    ].quantize_down(cfg.frequency_hz)
 
         # -- per-phase structures (phase count P is tiny) ----------------
         phases = app.effective_phases()
@@ -357,44 +440,54 @@ class BatchEvaluator:
                 for ph in phases
             ]
         )
-        # phase thread histograms after overrides + max_useful clipping
-        tps_phase = np.empty((C, P, S), dtype=np.int64)
+        # phase thread histograms after overrides + max_useful clipping.
+        # Per-socket shapes are per-class; the *totals* (and with them
+        # oversubscription and the odd-count penalty) are class-agnostic
+        # because every placement distributes the full thread count, so
+        # they are taken from each config's primary (rank-0) class.
+        tps_phase_k = np.zeros((K, C, P, S), dtype=np.int64)
         oversub = np.ones((C, P))
-        topo = cluster.node(0).numa
+        n_phase = np.zeros((C, P), dtype=np.int64)
         for c, cfg in enumerate(configs):
-            placement = placements[c]
-            phase_tps = {
-                name: tuple(
-                    int(x)
-                    for x in make_placement(
-                        topo, n, placement.kind, app.shared_fraction
-                    ).threads_per_socket
-                )
-                for name, n in cfg.phase_threads.items()
-            }
-            for j, ph in enumerate(phases):
-                tps = np.asarray(
-                    phase_tps.get(ph.name, placement.threads_per_socket),
-                    dtype=np.int64,
-                )
-                if ph.max_useful_threads is not None:
-                    excess = int(tps.sum()) - ph.max_useful_threads
-                    if excess > 0:
-                        oversub[c, j] = 1.0 + PHASE_OVERSUBSCRIPTION_PENALTY * (
-                            excess / ph.max_useful_threads
-                        )
-                    tps = _clip_total_threads(tps, ph.max_useful_threads)
-                tps_phase[c, j] = tps
+            for k in range(K):
+                placement = placements_k[k].get(c)
+                if placement is None:
+                    continue
+                phase_tps = {
+                    name: tuple(
+                        int(x)
+                        for x in make_placement(
+                            topo_k[k], n, placement.kind, app.shared_fraction
+                        ).threads_per_socket
+                    )
+                    for name, n in cfg.phase_threads.items()
+                }
+                primary = k == primary_k[c]
+                for j, ph in enumerate(phases):
+                    tps = np.asarray(
+                        phase_tps.get(ph.name, placement.threads_per_socket),
+                        dtype=np.int64,
+                    )
+                    if ph.max_useful_threads is not None:
+                        excess = int(tps.sum()) - ph.max_useful_threads
+                        if excess > 0 and primary:
+                            oversub[c, j] = 1.0 + PHASE_OVERSUBSCRIPTION_PENALTY * (
+                                excess / ph.max_useful_threads
+                            )
+                        tps = _clip_total_threads(tps, ph.max_useful_threads)
+                    tps_phase_k[k, c, j, : len(tps)] = tps
+                    if primary:
+                        n_phase[c, j] = int(tps.sum())
 
-        n_phase = tps_phase.sum(axis=2)  # (C, P)
+        tps_phase = tps_phase_k[cls, cfg_idx]  # (C, NN, P, S)
         odd_phase = (n_phase % 2 == 1) & (n_phase > 1)
-        extract = tps_phase * app.per_thread_bw_limit  # (C, P, S)
-        bw_penalty = 1.0 - remote * (1.0 - REMOTE_EFFICIENCY)  # (C,)
+        extract = tps_phase * app.per_thread_bw_limit  # (C, NN, P, S)
+        bw_penalty = 1.0 - remote * (1.0 - REMOTE_EFFICIENCY)  # (C, NN)
         instr_phase = base_instr[None, :] * work_fraction[:, None]  # (C, P)
         serial_instr = instr_phase * app.serial_fraction
         par_instr = instr_phase - serial_instr
         dram_bytes_phase = instr_phase * bpi[None, :]
-        rate_coeff = app.ipc_fraction * self._ipc_peak
+        rate_coeff = app.ipc_fraction * self._c_ipc[cls]  # (C, NN)
         t_sync_phase = sync_cost[None, :] * np.maximum(n_phase - 1, 0)
 
         # scalar path accumulates in phase order starting from 0.0;
@@ -420,19 +513,18 @@ class BatchEvaluator:
             rate1 = rate_coeff * f_eff  # (C, NN)
             uncore = np.minimum(
                 1.0,
-                UNCORE_BW_FLOOR
-                + (1.0 - UNCORE_BW_FLOOR) * f_eff / self._f_nom,
+                UNCORE_BW_FLOOR + (1.0 - UNCORE_BW_FLOOR) * f_eff / f_nom,
             )
-            peak_u = self._peak_bw * uncore  # (C, NN)
+            peak_u = peak_bw * uncore  # (C, NN)
             for j in range(P):
                 t_serial = serial_instr[:, j, None] / rate1
                 t_comp = par_instr[:, j, None] / (n_phase[:, j, None] * rate1)
                 bw = (
                     np.minimum(
-                        np.minimum(bw_limit[:, :, None], extract[:, None, j, :]),
+                        np.minimum(bw_limit[:, :, None], extract[:, :, j, :]),
                         peak_u[:, :, None],
                     )
-                    * bw_penalty[:, None, None]
+                    * bw_penalty[:, :, None]
                 )  # (C, NN, S)
                 total_bw = bw.sum(axis=2)
                 with np.errstate(divide="ignore", invalid="ignore"):
@@ -489,50 +581,65 @@ class BatchEvaluator:
             in socket order.
             """
             # --- DRAM ---------------------------------------------------
-            per_cap = dram_cap / S  # (C, NN)
-            budget = per_cap / eff - self._p_base_mem
+            per_cap = dram_cap / S_cell  # (C, NN)
+            budget = per_cap / eff - p_base_mem
             mem_violated = budget < 0
-            util = np.minimum(
-                np.maximum(budget, 0.0) / self._p_load_mem, 1.0
-            )
-            limit = np.where(mem_violated, self._bw_floor, util * self._peak_bw)
+            util = np.minimum(np.maximum(budget, 0.0) / p_load_mem, 1.0)
+            limit = np.where(mem_violated, bw_floor, util * peak_bw)
             delivered = np.minimum(dem, limit[:, :, None])
             mem_throttled = mem_violated | (
                 dem > (limit * (1 + 1e-9))[:, :, None]
             ).any(axis=2)
             dram_w = np.zeros((C, NN))
             for s in range(S):
-                dram_w = dram_w + (
-                    self._p_base_mem
-                    + self._p_load_mem
-                    * np.minimum(delivered[:, :, s] / self._peak_bw, 1.0)
+                term = (
+                    p_base_mem
+                    + p_load_mem
+                    * np.minimum(delivered[:, :, s] / peak_bw, 1.0)
                 ) * eff
+                if sock_w is not None:
+                    term = term * sock_w[:, :, s]
+                dram_w = dram_w + term
 
             # --- PKG ----------------------------------------------------
             # continuous inversion, as max_freq_under_pkg_cap computes it
-            base = S * self._p_base_pkg
-            static = (base + n_threads[:, None] * self._p_leak) * eff
+            base = S_cell * p_base_pkg
+            static = (base + n_threads[:, None] * p_leak) * eff
             dyn_budget = pkg_cap - static
             act_mean = act  # np.mean of a scalar is the scalar
-            denom = eff * n_threads[:, None] * self._p_dyn * act_mean
+            denom = eff * n_threads[:, None] * p_dyn * act_mean
             with np.errstate(divide="ignore", invalid="ignore"):
-                rel = np.power(np.maximum(dyn_budget, 0.0) / denom, self._inv_k)
-            f_unc = rel * self._f_nom
-            fallback = (dyn_budget < 0) | (f_unc < self._f_min)
-            f_cont = np.where(
-                fallback, self._f_min, np.minimum(f_unc, self._f_max)
-            )
+                ratio = np.maximum(dyn_budget, 0.0) / denom
+                if K == 1:
+                    rel = np.power(ratio, self._inv_k_list[0])
+                else:
+                    # scalar exponent per class keeps the same pow kernel
+                    # the scalar path uses (vector exponents can differ
+                    # in the last ulp)
+                    rel = np.empty((C, NN))
+                    for k in range(K):
+                        rel = np.where(
+                            cls_eq[k],
+                            np.power(ratio, self._inv_k_list[k]),
+                            rel,
+                        )
+            f_unc = rel * f_nom
+            fallback = (dyn_budget < 0) | (f_unc < f_min)
+            f_cont = np.where(fallback, f_min, np.minimum(f_unc, f_max))
             # duty-cycle fallback uses the per-socket static/dynamic sums
-            core0 = self._p_leak  # core_power(f=0): dynamic term vanishes
-            core_fmin = self._p_leak + self._p_dyn * self._relmin_k * act_mean
+            core0 = p_leak  # core_power(f=0): dynamic term vanishes
+            core_fmin = p_leak + p_dyn * relmin_k * act_mean
             static_fb = np.zeros((C, NN))
             pkg_fmin = np.zeros((C, NN))
             for s in range(S):
-                tps_s = tps_full[:, s, None]
-                static_fb = static_fb + (self._p_base_pkg + tps_s * core0) * eff
-                pkg_fmin = pkg_fmin + (
-                    self._p_base_pkg + tps_s * core_fmin
-                ) * eff
+                tps_s = tps_full[:, :, s]
+                t_static = (p_base_pkg + tps_s * core0) * eff
+                t_fmin = (p_base_pkg + tps_s * core_fmin) * eff
+                if sock_w is not None:
+                    t_static = t_static * sock_w[:, :, s]
+                    t_fmin = t_fmin * sock_w[:, :, s]
+                static_fb = static_fb + t_static
+                pkg_fmin = pkg_fmin + t_fmin
             dyn_fmin = pkg_fmin - static_fb
             with np.errstate(divide="ignore", invalid="ignore"):
                 duty_fb = np.where(
@@ -543,26 +650,51 @@ class BatchEvaluator:
             cpu_violated = fallback & (
                 pkg_cap < static_fb + MIN_DUTY_CYCLE * np.maximum(dyn_fmin, 0.0)
             )
-            # quantize_down: largest ladder frequency <= f + 1e-6
-            idx = np.searchsorted(self._freqs, f_cont + 1e-6, side="right")
-            f_allowed = self._freqs[np.maximum(idx - 1, 0)]
+            # quantize_down: largest ladder frequency <= f + 1e-6,
+            # against each cell's own class ladder
+            if K == 1:
+                freqs = self._freqs_k[0]
+                idx = np.searchsorted(freqs, f_cont + 1e-6, side="right")
+                f_allowed = freqs[np.maximum(idx - 1, 0)]
+            else:
+                f_allowed = np.empty((C, NN))
+                for k in range(K):
+                    freqs = self._freqs_k[k]
+                    idx = np.searchsorted(freqs, f_cont + 1e-6, side="right")
+                    f_allowed = np.where(
+                        cls_eq[k], freqs[np.maximum(idx - 1, 0)], f_allowed
+                    )
             cpu_throttled = (
-                (duty < 1.0) | cpu_violated | (f_allowed < f_demand[:, None])
+                (duty < 1.0) | cpu_violated | (f_allowed < f_demand)
             )
-            f = np.minimum(f_demand[:, None], f_allowed)
-            # f is always a ladder value: look its (f/f_nom)^k up in the
-            # scalar-path table instead of re-running vectorized pow
-            f_idx = np.searchsorted(self._freqs, f)
-            core_f = (
-                self._p_leak
-                + self._p_dyn * self._pow_ladder[f_idx] * act_mean
-            )
+            f = np.minimum(f_demand, f_allowed)
+            # f is always a rung of the cell's own ladder: look its
+            # (f/f_nom)^k up in the per-class scalar-path table instead
+            # of re-running vectorized pow
+            if K == 1:
+                f_idx = np.searchsorted(self._freqs_k[0], f)
+                pow_f = self._pow_ladder_k[0][f_idx]
+            else:
+                pow_f = np.empty((C, NN))
+                for k in range(K):
+                    f_idx = np.clip(
+                        np.searchsorted(self._freqs_k[k], f),
+                        0,
+                        len(self._freqs_k[k]) - 1,
+                    )
+                    pow_f = np.where(
+                        cls_eq[k], self._pow_ladder_k[k][f_idx], pow_f
+                    )
+            core_f = p_leak + p_dyn * pow_f * act_mean
             pkg_w = np.zeros((C, NN))
             for s in range(S):
-                tps_s = tps_full[:, s, None]
-                pkg0 = (self._p_base_pkg + tps_s * core0) * eff
-                pkgf = (self._p_base_pkg + tps_s * core_f) * eff
-                pkg_w = pkg_w + (pkg0 + (pkgf - pkg0) * duty)
+                tps_s = tps_full[:, :, s]
+                pkg0 = (p_base_pkg + tps_s * core0) * eff
+                pkgf = (p_base_pkg + tps_s * core_f) * eff
+                term = pkg0 + (pkgf - pkg0) * duty
+                if sock_w is not None:
+                    term = term * sock_w[:, :, s]
+                pkg_w = pkg_w + term
             return {
                 "f": f,
                 "f_eff": f * duty,
@@ -578,9 +710,7 @@ class BatchEvaluator:
 
         # -- damped fixed point with per-element convergence freezing ----
         state_act = np.full((C, NN), 0.9)
-        state_dem = np.where(
-            tps_full[:, None, :] > 0, self._peak_bw, 0.0
-        ) * np.ones((C, NN, S))
+        state_dem = np.where(tps_full > 0, peak_bw[:, :, None], 0.0)
         done = ~mask  # non-participating slots never iterate
         prev_t = np.zeros((C, NN))
         have_prev = False
@@ -629,22 +759,22 @@ class BatchEvaluator:
         t_step = np.where(mask, fz_t, -np.inf).max(axis=1) + comm  # (C,)
         total_time = iterations * t_step
 
-        core_idle = (
-            self._p_leak + self._p_dyn * self._relmin_k * _IDLE_ACTIVITY
-        )
+        core_idle = p_leak + p_dyn * relmin_k * _IDLE_ACTIVITY  # (C, NN)
         idle_pkg = np.zeros((C, NN))
         for s in range(S):
-            idle_pkg = idle_pkg + (
-                self._p_base_pkg + tps_full[:, s, None] * core_idle
-            ) * eff
-        idle_dram = S * ((self._p_base_mem + self._p_load_mem * 0.0) * eff)
+            term = (p_base_pkg + tps_full[:, :, s] * core_idle) * eff
+            if sock_w is not None:
+                term = term * sock_w[:, :, s]
+            idle_pkg = idle_pkg + term
+        idle_dram = S_cell * ((p_base_mem + p_load_mem * 0.0) * eff)
         with np.errstate(divide="ignore", invalid="ignore"):
             busy_frac = np.where(
                 t_step[:, None] > 0, fz_t / t_step[:, None], 1.0
             )
         avg_pkg = op["pkg_w"] * busy_frac + idle_pkg * (1.0 - busy_frac)
         avg_dram = op["dram_w"] * busy_frac + idle_dram * (1.0 - busy_frac)
-        node_energy = (avg_pkg + avg_dram + self._p_other) * total_time[:, None]
+        p_other = self._c_p_other[cls]  # (C, NN)
+        node_energy = (avg_pkg + avg_dram + p_other) * total_time[:, None]
         # sequential rank-order sums replicate the scalar accumulation
         energy = np.zeros(C)
         peak = np.zeros(C)
@@ -653,9 +783,26 @@ class BatchEvaluator:
             peak = peak + np.where(
                 mask[:, r], op["pkg_w"][:, r] + op["dram_w"][:, r], 0.0
             )
-        peak = peak + np.array(
-            [cfg.n_nodes for cfg in configs]
-        ) * self._p_other
+        # p_other enters peak exactly as the scalar engine adds it:
+        # count * value when all participants share one hardware class,
+        # otherwise one per-rank addition at a time
+        one_shot = np.zeros(C)
+        rank_other = np.zeros((C, NN))
+        is_multi = np.zeros(C, dtype=bool)
+        for c, ids in enumerate(participants_ids):
+            ks = {int(slot_class[i]) for i in ids}
+            if len(ks) == 1:
+                one_shot[c] = len(ids) * self._c_p_other[ks.pop()]
+            else:
+                is_multi[c] = True
+                for r, i in enumerate(ids):
+                    rank_other[c, r] = self._c_p_other[slot_class[i]]
+        peak = peak + one_shot
+        if is_multi.any():
+            for r in range(NN):
+                peak = peak + np.where(
+                    is_multi & mask[:, r], rank_other[:, r], 0.0
+                )
         with np.errstate(divide="ignore", invalid="ignore"):
             avg_power = np.where(total_time > 0, energy / total_time, 0.0)
 
@@ -670,8 +817,8 @@ class BatchEvaluator:
         values[:, :, 0] = (app.icache_mpki * instr_run / 1e3)[:, None]
         values[:, :, 1] = reads[:, None]
         values[:, :, 2] = writes[:, None]
-        values[:, :, 3] = (misses * (1.0 - remote))[:, None]
-        values[:, :, 4] = (misses * remote)[:, None]
+        values[:, :, 3] = misses[:, None] * (1.0 - remote)
+        values[:, :, 4] = misses[:, None] * remote
         values[:, :, 5] = n_threads[:, None] * op["f_eff"] * duration
         values[:, :, 6] = instr_run[:, None]
         # noise draws: one generator per (n_nodes, n_threads), ranks
@@ -700,10 +847,11 @@ class BatchEvaluator:
         for c, cfg in enumerate(configs):
             records = []
             for rank, node_id in enumerate(participants_ids[c]):
+                n_sock = self._class_S_int[int(cls[c, rank])]
                 point = OperatingPoint(
                     frequency_hz=float(op["f"][c, rank]),
                     bandwidth_per_socket=tuple(
-                        float(op["limit"][c, rank]) for _ in range(S)
+                        float(op["limit"][c, rank]) for _ in range(n_sock)
                     ),
                     pkg_power_w=float(op["pkg_w"][c, rank]),
                     dram_power_w=float(op["dram_w"][c, rank]),
@@ -745,7 +893,7 @@ class BatchEvaluator:
                     app_name=app.name,
                     n_nodes=cfg.n_nodes,
                     n_threads_per_node=cfg.n_threads,
-                    affinity=placements[c].kind.value,
+                    affinity=placements_k[primary_k[c]][c].kind.value,
                     iterations=int(iterations[c]),
                     t_step_s=float(t_step[c]),
                     comm_s=float(comm[c]),

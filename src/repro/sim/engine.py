@@ -118,7 +118,12 @@ class ExecutionEngine:
 
     def __init__(self, cluster: SimulatedCluster, seed: int = 42, cache=None):
         self._cluster = cluster
-        self._model = GroundTruthModel(cluster.spec.node)
+        # one ground-truth timing model per distinct hardware class
+        self._models = {
+            spec: GroundTruthModel(spec)
+            for spec in dict.fromkeys(cluster.spec.node_specs)
+        }
+        self._model = self._models[cluster.spec.node_specs[0]]
         self._comm = CommModel(cluster.spec)
         self._seed = seed
         self._cache = cache
@@ -131,8 +136,12 @@ class ExecutionEngine:
 
     @property
     def ground_truth(self) -> GroundTruthModel:
-        """Node-level timing model (for oracle/test use only)."""
+        """Slot-0 node-class timing model (for oracle/test use only)."""
         return self._model
+
+    def ground_truth_for(self, node_spec) -> GroundTruthModel:
+        """The timing model of one hardware class."""
+        return self._models[node_spec]
 
     @property
     def comm_model(self) -> CommModel:
@@ -214,38 +223,50 @@ class ExecutionEngine:
             if hit is not None:
                 return hit
         cluster = self._cluster
-        node_spec = cluster.spec.node
         if config.n_nodes > cluster.n_nodes:
             raise SchedulingError(
                 f"{config.n_nodes} nodes requested, cluster has {cluster.n_nodes}"
             )
-        if config.n_threads > node_spec.n_cores:
+        if config.node_ids is not None:
+            participants = [cluster.node(i) for i in config.node_ids]
+        else:
+            participants = list(cluster.nodes[: config.n_nodes])
+        min_cores = min(n.spec.n_cores for n in participants)
+        if config.n_threads > min_cores:
             raise SchedulingError(
-                f"{config.n_threads} threads requested, node has {node_spec.n_cores} cores"
+                f"{config.n_threads} threads requested, node has {min_cores} cores"
             )
 
-        # Placement is identical on every node (homogeneous job launch).
-        topo = cluster.node(0).numa
-        if config.affinity is None:
-            placement = placement_for(
-                topo,
-                config.n_threads,
-                app.shared_fraction,
-                app.is_memory_intensive,
-            )
-        else:
-            placement = make_placement(
-                topo, config.n_threads, config.affinity, app.shared_fraction
-            )
-        phase_tps = {
-            name: tuple(
-                int(c)
-                for c in make_placement(
-                    topo, n, placement.kind, app.shared_fraction
-                ).threads_per_socket
-            )
-            for name, n in config.phase_threads.items()
-        }
+        # Placement is identical on every node of one hardware class
+        # (homogeneous job launch); mixed clusters place per class.
+        placements: dict = {}
+        phase_tps_by: dict = {}
+        for part in participants:
+            spec = part.spec
+            if spec in placements:
+                continue
+            topo = part.numa
+            if config.affinity is None:
+                placement = placement_for(
+                    topo,
+                    config.n_threads,
+                    app.shared_fraction,
+                    app.is_memory_intensive,
+                )
+            else:
+                placement = make_placement(
+                    topo, config.n_threads, config.affinity, app.shared_fraction
+                )
+            placements[spec] = placement
+            phase_tps_by[spec] = {
+                name: tuple(
+                    int(c)
+                    for c in make_placement(
+                        topo, n, placement.kind, app.shared_fraction
+                    ).threads_per_socket
+                )
+                for name, n in config.phase_threads.items()
+            }
 
         iterations = config.iterations or app.iterations
         # strong scaling divides the global problem over the nodes;
@@ -254,10 +275,6 @@ class ExecutionEngine:
             1.0 / config.n_nodes if config.scaling == "strong" else 1.0
         )
 
-        if config.node_ids is not None:
-            participants = [cluster.node(i) for i in config.node_ids]
-        else:
-            participants = list(cluster.nodes[: config.n_nodes])
         down = [n.node_id for n in participants if not cluster.is_available(n.node_id)]
         if down:
             raise NodeFailureError(
@@ -270,7 +287,8 @@ class ExecutionEngine:
         for rank, node in enumerate(participants):
             records.append(
                 self._run_node(
-                    node, app, config, placement, phase_tps,
+                    node, app, config,
+                    placements[node.spec], phase_tps_by[node.spec],
                     work_fraction, iterations, rng, rank,
                 )
             )
@@ -287,27 +305,29 @@ class ExecutionEngine:
         peak = 0.0
         final_records = []
         for node, rec in zip(participants, records):
+            spec = node.spec
+            placement = placements[spec]
             busy_frac = rec.t_iter_s / t_step if t_step > 0 else 1.0
             idle_pkg = sum(
                 node.power_model.pkg_power(
-                    c, node_spec.socket.f_min, _IDLE_ACTIVITY
+                    c, spec.socket.f_min, _IDLE_ACTIVITY
                 )
                 for c in placement.threads_per_socket
             )
-            idle_dram = node_spec.n_sockets * node.power_model.dram_power(0.0)
+            idle_dram = spec.n_sockets * node.power_model.dram_power(0.0)
             avg_pkg = rec.operating_point.pkg_power_w * busy_frac + idle_pkg * (
                 1.0 - busy_frac
             )
             avg_dram = rec.operating_point.dram_power_w * busy_frac + idle_dram * (
                 1.0 - busy_frac
             )
-            node_energy = (avg_pkg + avg_dram + node_spec.p_other_w) * total_time
+            node_energy = (avg_pkg + avg_dram + spec.p_other_w) * total_time
             energy += node_energy
             peak += rec.operating_point.pkg_power_w + rec.operating_point.dram_power_w
             node.rapl.accumulate(rec.operating_point, iterations * rec.t_iter_s)
             node.meter.record(
                 PowerBreakdown(
-                    pkg_w=avg_pkg, dram_w=avg_dram, other_w=node_spec.p_other_w
+                    pkg_w=avg_pkg, dram_w=avg_dram, other_w=spec.p_other_w
                 ),
                 total_time,
             )
@@ -324,13 +344,19 @@ class ExecutionEngine:
                     phase_times=rec.phase_times,
                 )
             )
-        peak += config.n_nodes * node_spec.p_other_w
+        first_spec = participants[0].spec
+        if all(n.spec == first_spec for n in participants):
+            # seed's count * value arithmetic, kept bit-identical
+            peak += config.n_nodes * first_spec.p_other_w
+        else:
+            for node in participants:
+                peak += node.spec.p_other_w
 
         result = RunResult(
             app_name=app.name,
             n_nodes=config.n_nodes,
             n_threads_per_node=config.n_threads,
-            affinity=placement.kind.value,
+            affinity=placements[first_spec].kind.value,
             iterations=iterations,
             t_step_s=t_step,
             comm_s=comm_s,
@@ -361,6 +387,7 @@ class ExecutionEngine:
         """Fixed-point resolve one node's steady state."""
         pkg_cap, dram_cap = config.caps_for(rank)
         node.set_power_caps(pkg_cap, dram_cap)
+        model = self._models[node.spec]
         mem = node.spec.socket.memory
         tps = placement.threads_per_socket
         activity = 0.9
@@ -374,7 +401,7 @@ class ExecutionEngine:
             op = node.rapl.resolve(
                 tps, activity, demand, config.frequency_hz
             )
-            timing = self._model.iteration_time(
+            timing = model.iteration_time(
                 app,
                 tps,
                 op.effective_frequency_hz,

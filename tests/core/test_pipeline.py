@@ -228,6 +228,38 @@ class TestSingleConstructionSite:
         assert not matches, f"{rel_path} constructs models directly: {matches}"
 
 
+class TestHeterogeneityLayering:
+    """No decision-stack module assumes a single node class.
+
+    ``ClusterSpec.node`` is the legacy single-class accessor (it raises
+    on mixed clusters); every module under ``core/`` and ``baselines/``
+    must go through ``node_specs`` instead, so a heterogeneous cluster
+    flows through the whole stack without special cases.  ``node_specs``
+    itself does not match — ``_`` is a word character.
+    """
+
+    FORBIDDEN = re.compile(r"\bspec\.node\b")
+
+    def _layer_files(self):
+        src = Path(__file__).parent.parent.parent / "src" / "repro"
+        for layer in ("core", "baselines"):
+            yield from sorted((src / layer).glob("*.py"))
+
+    def test_no_single_class_spec_access(self):
+        offenders = {
+            path.name: self.FORBIDDEN.findall(path.read_text())
+            for path in self._layer_files()
+            if self.FORBIDDEN.search(path.read_text())
+        }
+        assert not offenders, (
+            f"modules reach for the single-class spec.node accessor: {offenders}"
+        )
+
+    def test_layer_scan_is_not_vacuous(self):
+        files = list(self._layer_files())
+        assert len(files) >= 10, "layering scan found suspiciously few modules"
+
+
 class TestPipelineDirect:
     def test_pipeline_standalone(self, engine, trained_inflection):
         """The pipeline works without the ClipScheduler facade."""

@@ -7,10 +7,13 @@ from repro.hw.specs import (
     ClusterSpec,
     CoreSpec,
     MemorySpec,
+    NodeGroup,
     NodeSpec,
     SocketSpec,
+    broadwell_node,
     haswell_node,
     haswell_testbed,
+    mixed_testbed,
 )
 from repro.units import ghz
 
@@ -144,3 +147,62 @@ class TestClusterSpec:
     def test_custom_node_count(self):
         spec = haswell_testbed(n_nodes=4)
         assert spec.n_nodes == 4
+
+
+class TestNodeGroups:
+    def test_group_rejects_zero_count(self):
+        with pytest.raises(SpecError):
+            NodeGroup(haswell_node(), 0)
+
+    def test_groups_and_legacy_keywords_are_exclusive(self):
+        with pytest.raises(SpecError):
+            ClusterSpec(
+                n_nodes=4, groups=(NodeGroup(haswell_node(), 4),)
+            )
+
+    def test_rejects_empty_groups(self):
+        with pytest.raises(SpecError):
+            ClusterSpec(groups=())
+
+    def test_rejects_non_group_members(self):
+        with pytest.raises(SpecError):
+            ClusterSpec(groups=(haswell_node(),))
+
+    def test_legacy_keywords_build_one_group(self):
+        spec = haswell_testbed()
+        assert spec.is_homogeneous
+        assert len(spec.groups) == 1
+        assert spec.groups[0].count == 8
+        assert spec.node == spec.groups[0].spec
+
+    def test_node_specs_follow_group_order(self):
+        hw, bw = haswell_node(), broadwell_node()
+        spec = ClusterSpec(groups=(NodeGroup(hw, 2), NodeGroup(bw, 3)))
+        assert spec.node_specs == (hw, hw, bw, bw, bw)
+
+    def test_mixed_cluster_refuses_the_node_accessor(self):
+        spec = mixed_testbed()
+        with pytest.raises(SpecError, match="heterogeneous"):
+            spec.node
+
+    def test_mixed_testbed_shape(self):
+        spec = mixed_testbed()
+        assert spec.n_nodes == 8
+        assert not spec.is_homogeneous
+        # 4 x 24 Haswell cores + 4 x 40 Broadwell cores
+        assert spec.total_cores == 256
+        names = [s.name for s in spec.node_specs]
+        assert names == ["haswell"] * 4 + ["broadwell"] * 4
+
+    def test_mixed_peak_power_sums_per_group(self):
+        spec = mixed_testbed()
+        expected = 4 * haswell_node().p_node_max_w + 4 * broadwell_node().p_node_max_w
+        assert spec.p_cluster_max_w == pytest.approx(expected)
+
+    def test_slot_zero_is_the_smallest_class(self):
+        # profiling samples land on slot 0; its thread counts must be
+        # valid on every slot, so the min-core class leads
+        spec = mixed_testbed()
+        assert spec.node_specs[0].n_cores == min(
+            s.n_cores for s in spec.node_specs
+        )

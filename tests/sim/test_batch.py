@@ -151,6 +151,90 @@ class TestExactEquivalence:
         assert_identical(engine.evaluate(app, cfg), engine.run(app, cfg))
 
 
+#: Configs straddling the Haswell/Broadwell boundary of the mixed fleet
+#: (slots 0-3 Haswell, 4-7 Broadwell): cross-class spans, class-pure
+#: subsets, pinned frequency quantized on two different ladders, and
+#: per-node caps clipped against two different domain maxima.
+MIXED_CASES = [
+    ("sp-mz.C", ExecutionConfig(n_nodes=8, n_threads=12, iterations=2)),
+    ("stream", ExecutionConfig(n_nodes=6, n_threads=24, iterations=2)),
+    (
+        "comd",  # Broadwell-only span
+        ExecutionConfig(
+            n_nodes=3, n_threads=16, node_ids=(4, 6, 7), iterations=2
+        ),
+    ),
+    (
+        "ep.C",  # cross-class span with interleaved slot order
+        ExecutionConfig(
+            n_nodes=4, n_threads=8, node_ids=(1, 5, 2, 6), iterations=2
+        ),
+    ),
+    (
+        "tealeaf",  # pinned frequency hits both DVFS ladders
+        ExecutionConfig(
+            n_nodes=8, n_threads=6, frequency_hz=1.9e9, iterations=2
+        ),
+    ),
+    (
+        "amg",  # per-node caps across the class boundary
+        ExecutionConfig(
+            n_nodes=4,
+            n_threads=12,
+            per_node_caps=((110.0, 32.0), (90.0, 28.0), (120.0, 35.0), (95.0, 30.0)),
+            node_ids=(2, 3, 4, 5),
+            affinity=AffinityKind.SCATTER,
+            iterations=2,
+        ),
+    ),
+]
+
+
+class TestMixedClusterEquivalence:
+    """Bit-exact batch/scalar agreement on the heterogeneous fleet."""
+
+    @pytest.fixture()
+    def mixed_engine(self):
+        return ExecutionEngine(SimulatedCluster.mixed_testbed(), seed=42)
+
+    @pytest.mark.parametrize(
+        "app_name,config",
+        MIXED_CASES,
+        ids=[f"{a}-{i}" for i, (a, _) in enumerate(MIXED_CASES)],
+    )
+    def test_batch_matches_scalar(self, mixed_engine, app_name, config):
+        app = get_app(app_name)
+        scalar = mixed_engine.run(app, config)
+        (batch,) = mixed_engine.evaluate_many(app, [config])
+        assert_identical(batch, scalar)
+
+    def test_full_mixed_candidate_set_in_one_call(self, mixed_engine):
+        app = get_app("sp-mz.C")
+        configs = [cfg for _, cfg in MIXED_CASES]
+        batch = mixed_engine.evaluate_many(app, configs)
+        for cfg, b in zip(configs, batch):
+            assert_identical(b, mixed_engine.run(app, cfg))
+
+    def test_thread_count_validated_against_smallest_class(self, mixed_engine):
+        from repro.errors import SchedulingError
+
+        app = get_app("comd")
+        # 40 threads fit the Broadwell slots but not the Haswell ones
+        cfg = ExecutionConfig(
+            n_nodes=2, n_threads=40, node_ids=(3, 4), iterations=2
+        )
+        with pytest.raises(SchedulingError, match="24 cores"):
+            mixed_engine.evaluate_many(app, [cfg])
+        # a Broadwell-only span accepts the same thread count
+        wide = ExecutionConfig(
+            n_nodes=2, n_threads=40, node_ids=(4, 5), iterations=2
+        )
+        assert_identical(
+            mixed_engine.evaluate_many(app, [wide])[0],
+            mixed_engine.run(app, wide),
+        )
+
+
 class TestConfigCacheKey:
     def test_equal_configs_equal_keys(self):
         a = ExecutionConfig(n_nodes=2, n_threads=8, phase_threads={"x": 4})

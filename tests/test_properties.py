@@ -159,6 +159,64 @@ class TestCoordinationProperties:
         assert np.all(np.diff(sorted_budgets) >= -1e-9)
 
 
+class TestHeterogeneousCoordinationProperties:
+    """Per-node [lo, hi] arrays — the mixed-cluster coordination form."""
+
+    @staticmethod
+    def _bounds(rng, n):
+        # distinct per-node acceptable ranges, hi strictly above lo
+        lo = rng.uniform(60.0, 160.0, n)
+        hi = lo + rng.uniform(20.0, 160.0, n)
+        return lo, hi
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=8),
+        slack=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_respects_budget_and_per_node_bounds(self, seed, n, slack):
+        rng = np.random.default_rng(seed)
+        lo, hi = self._bounds(rng, n)
+        factors = np.clip(1 + 0.08 * rng.standard_normal(n), 0.85, 1.15)
+        # any budget from the summed floors to the summed ceilings
+        total = float(lo.sum() + slack * (hi.sum() - lo.sum()))
+        budgets = coordinate_power(total, factors, lo_w=lo, hi_w=hi)
+        assert budgets.shape == (n,)
+        assert float(budgets.sum()) <= total + 1e-6
+        assert np.all(budgets >= lo - 1e-9)
+        assert np.all(budgets <= hi + 1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=8),
+    )
+    def test_saturating_budget_pins_every_node_at_ceiling(self, seed, n):
+        rng = np.random.default_rng(seed)
+        lo, hi = self._bounds(rng, n)
+        factors = np.clip(1 + 0.08 * rng.standard_normal(n), 0.85, 1.15)
+        budgets = coordinate_power(float(hi.sum()), factors, lo_w=lo, hi_w=hi)
+        np.testing.assert_allclose(budgets, hi, rtol=1e-9, atol=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=8),
+    )
+    def test_scalar_bounds_agree_with_uniform_arrays(self, seed, n):
+        rng = np.random.default_rng(seed)
+        factors = np.clip(1 + 0.08 * rng.standard_normal(n), 0.85, 1.15)
+        scalar = coordinate_power(200.0 * n, factors, lo_w=120.0, hi_w=280.0)
+        arrays = coordinate_power(
+            200.0 * n,
+            factors,
+            lo_w=np.full(n, 120.0),
+            hi_w=np.full(n, 280.0),
+        )
+        np.testing.assert_allclose(arrays, scalar, rtol=1e-9, atol=1e-9)
+
+
 class TestExecutionProperties:
     @settings(max_examples=20, deadline=None)
     @given(
