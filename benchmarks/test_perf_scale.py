@@ -1,0 +1,49 @@
+"""Perf guard for fleet-scale coordination.
+
+Runs the scaling benchmark (8 → 1024 nodes), records the curve to
+``BENCH_scale.json`` at the repository root, and enforces the
+fleet-scale acceptance bar: per-node decision cost at 1024 nodes stays
+within 3x the 8-node per-node cost, and every audited cap set at every
+scale honors the budget contract.
+"""
+
+from bench_scale import run_scale_bench
+
+#: Acceptance ceiling: per-node decision cost at the largest fleet
+#: relative to the smallest.  Near-flat means well under this bound;
+#: 3x leaves room for CI machine noise without hiding an O(N) blowup
+#: (a flat-cluster scan would regress by ~128x).
+MAX_PER_NODE_RATIO = 3.0
+
+
+def test_scale_per_node_cost(report):
+    payload = run_scale_bench()
+    scales = payload["scales"]
+
+    lines = [
+        "Fleet scaling — warm schedule() and runtime re-coordination",
+        "  nodes  racks  decision(ms)  per-node(us)  recoord(ms)",
+    ]
+    for s in scales:
+        lines.append(
+            f"  {s['n_nodes']:5d}  {s['racks']:5d}  "
+            f"{s['warm_per_decision_s'] * 1e3:11.2f}  "
+            f"{s['per_node_decision_s'] * 1e6:11.2f}  "
+            f"{s['per_recoordination_s'] * 1e3:10.2f}"
+        )
+    lines.append(
+        f"  per-node ratio {scales[-1]['n_nodes']} vs {scales[0]['n_nodes']} "
+        f"nodes: {payload['per_node_ratio_largest_vs_smallest']:.2f}x "
+        f"(bound {MAX_PER_NODE_RATIO}x)"
+    )
+    lines.append(f"  violations across all scales: {payload['total_violations']}")
+    report("perf_scale", "\n".join(lines))
+
+    # Correctness first: the hierarchy never hands out phantom watts.
+    assert payload["total_violations"] == 0
+    for s in scales:
+        assert s["audits"]["n_violations"] == 0, s
+    # The scaling claim: near-flat per-node decision cost.
+    assert payload["per_node_ratio_largest_vs_smallest"] <= MAX_PER_NODE_RATIO, (
+        payload
+    )

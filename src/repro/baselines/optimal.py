@@ -121,6 +121,25 @@ class OracleScheduler(PowerBoundedScheduler):
         """
         return dict(self._last_stats)
 
+    def _candidate_node_counts(self) -> tuple[int, ...]:
+        """Node counts the exhaustive sweep enumerates.
+
+        A flat (single-rack) cluster sweeps every count — the paper's
+        8-node exhaustive search, bit-identical to previous releases.
+        A multi-rack fleet decomposes by rack: slots fill in rack
+        order and racks repeat the same hardware groups, so the sweep
+        needs every count within the first rack plus each whole-rack
+        prefix boundary — search cost scales with rack size, not fleet
+        size.
+        """
+        cluster = self.engine.cluster
+        if cluster.n_racks <= 1:
+            return tuple(range(1, cluster.n_nodes + 1))
+        boundaries = list(accumulate(cluster.spec.rack_sizes))
+        cands = set(range(1, boundaries[0] + 1))
+        cands.update(boundaries)
+        return tuple(sorted(cands))
+
     def plan(
         self, app: WorkloadCharacteristics, cluster_budget_w: float
     ) -> ExecutionConfig:
@@ -160,7 +179,7 @@ class OracleScheduler(PowerBoundedScheduler):
         candidates: list[ExecutionConfig] = []
         total = 0
         pruned = 0
-        for n_nodes in range(1, cluster.n_nodes + 1):
+        for n_nodes in self._candidate_node_counts():
             node_share = cluster_budget_w / n_nodes
             for dram in self._dram_grid:
                 pkg = node_share - dram

@@ -38,7 +38,7 @@ from repro.core.profile import SmartProfiler
 from repro.core.scheduler import ClipScheduler
 from repro.errors import ClipError
 from repro.hw.cluster import SimulatedCluster
-from repro.hw.specs import broadwell_testbed
+from repro.hw.specs import broadwell_testbed, haswell_testbed, mixed_testbed
 from repro.sim.engine import ExecutionEngine
 from repro.workloads.apps import all_apps, get_app
 
@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
             default="haswell",
             help="simulated cluster: 8x Haswell (default), 8x Broadwell, "
             "or the mixed 4x Haswell + 4x Broadwell fleet",
+        )
+        p.add_argument(
+            "--racks",
+            type=int,
+            default=1,
+            help="replicate the testbed into N racks behind one fabric "
+            "(default 1: the paper's flat testbed)",
         )
 
     sub.add_parser("apps", help="list predefined applications")
@@ -141,13 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _engine(seed: int, testbed: str = "haswell") -> ExecutionEngine:
-    cluster = {
-        "haswell": SimulatedCluster.testbed,
-        "broadwell": lambda: SimulatedCluster(broadwell_testbed()),
-        "mixed": SimulatedCluster.mixed_testbed,
-    }[testbed]()
-    return ExecutionEngine(cluster, seed=seed)
+def _engine(
+    seed: int, testbed: str = "haswell", racks: int = 1
+) -> ExecutionEngine:
+    racks_arg = racks if racks and racks > 1 else None
+    spec = {
+        "haswell": haswell_testbed,
+        "broadwell": broadwell_testbed,
+        "mixed": mixed_testbed,
+    }[testbed](racks=racks_arg)
+    return ExecutionEngine(SimulatedCluster(spec), seed=seed)
 
 
 def cmd_apps(_args) -> int:
@@ -191,19 +201,32 @@ def _scheduler(engine: ExecutionEngine) -> ClipScheduler:
 
 
 def cmd_schedule(args) -> int:
-    engine = _engine(args.seed, args.testbed)
+    engine = _engine(args.seed, args.testbed, args.racks)
     app = get_app(args.app)
     clip = _scheduler(engine)
     if args.json:
         decision, trace = clip.schedule_traced(
             app, args.budget, allocation_mode=args.mode
         )
-        print(
-            json.dumps(
-                {"decision": decision.to_dict(), "trace": trace.to_dict()},
-                indent=2,
-            )
-        )
+        payload = {"decision": decision.to_dict(), "trace": trace.to_dict()}
+        rack_budgets = decision.allocation.rack_budgets_w
+        if rack_budgets is not None:
+            spec = engine.cluster.spec
+            records, start = [], 0
+            for name, size in zip(spec.rack_names, spec.rack_sizes):
+                take = min(size, decision.n_nodes - start)
+                if take <= 0:
+                    break
+                records.append(
+                    {
+                        "name": name,
+                        "n_nodes": take,
+                        "budget_w": rack_budgets[len(records)],
+                    }
+                )
+                start += size
+            payload["racks"] = records
+        print(json.dumps(payload, indent=2))
         return 0
     decision = clip.schedule(app, args.budget, allocation_mode=args.mode)
     print(render_script(app, decision))
@@ -215,7 +238,7 @@ def cmd_schedule(args) -> int:
 
 
 def cmd_run(args) -> int:
-    engine = _engine(args.seed, args.testbed)
+    engine = _engine(args.seed, args.testbed, args.racks)
     app = get_app(args.app)
     clip = _scheduler(engine)
     decision, result = clip.run(app, args.budget, allocation_mode=args.mode)
@@ -225,7 +248,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    engine = _engine(args.seed, args.testbed)
+    engine = _engine(args.seed, args.testbed, args.racks)
     apps = (
         [get_app(n) for n in args.apps]
         if args.apps
@@ -280,7 +303,7 @@ def cmd_faults(args) -> int:
     from repro.core.jobqueue import PowerBoundedJobQueue
     from repro.sim.faults import FaultInjector
 
-    engine = _engine(args.seed, args.testbed)
+    engine = _engine(args.seed, args.testbed, args.racks)
     clip = _scheduler(engine)
     queue = PowerBoundedJobQueue(clip)
     apps = [get_app(n) for n in FAULT_DEMO_APPS]

@@ -49,11 +49,17 @@ class ClusterAllocation:
     node_hi_w: float
     predicted_cluster_perf: float
     node_ranges_w: tuple[tuple[float, float], ...] | None = None
+    rack_budgets_w: tuple[float, ...] | None = None
 
     @property
     def total_allocated_w(self) -> float:
         """Sum of per-node budgets (<= the cluster budget)."""
         return float(sum(self.node_budgets_w))
+
+    @property
+    def n_racks(self) -> int:
+        """Racks the participating nodes span (1 on a flat cluster)."""
+        return len(self.rack_budgets_w) if self.rack_budgets_w else 1
 
 
 class ClusterAllocator:
@@ -66,6 +72,8 @@ class ClusterAllocator:
         node_factors: np.ndarray | None = None,
         variability_threshold: float = VARIABILITY_THRESHOLD,
         node_ranges: tuple[tuple[float, float], ...] | None = None,
+        rack_of_slot: tuple[int, ...] | None = None,
+        rack_names: tuple[str, ...] | None = None,
     ):
         if n_total_nodes < 1:
             raise SchedulingError("cluster must have at least one node")
@@ -88,6 +96,18 @@ class ClusterAllocator:
         )
         if self._ranges is not None and len(self._ranges) != n_total_nodes:
             raise SchedulingError("node_ranges must cover every node")
+        # rack structure: None on a flat (single-rack) cluster, which
+        # keeps every legacy code path untouched; multi-rack fleets
+        # split hierarchically and search rack-decomposed candidates
+        self._rack_of = (
+            tuple(int(r) for r in rack_of_slot)
+            if rack_of_slot is not None
+            else None
+        )
+        if self._rack_of is not None and len(self._rack_of) != n_total_nodes:
+            raise SchedulingError("rack_of_slot must cover every node")
+        self._rack_names = rack_names
+        self._range_cache: tuple[float, float] | None = None
 
     @property
     def power_model(self) -> ClipPowerModel:
@@ -104,9 +124,11 @@ class ClusterAllocator:
         — a node below the all-core floor can still contribute at
         reduced concurrency, CLIP's node-level lever.
         """
-        n_threads = self._rec.unbounded_concurrency()
-        rng = self._rec.power_model.power_range(n_threads)
-        return self._rec.min_floor_w(), rng.node_hi_w
+        if self._range_cache is None:
+            n_threads = self._rec.unbounded_concurrency()
+            rng = self._rec.power_model.power_range(n_threads)
+            self._range_cache = (self._rec.min_floor_w(), rng.node_hi_w)
+        return self._range_cache
 
     def candidate_node_counts(
         self, cluster_budget_w: float, predefined: tuple[int, ...] | None = None
@@ -136,7 +158,26 @@ class ClusterAllocator:
                     f"no predefined node count fits budget {cluster_budget_w:.1f} W"
                 )
             return cands
-        return tuple(range(1, max_nodes + 1))
+        if self._rack_of is None:
+            return tuple(range(1, max_nodes + 1))
+        return self._rack_candidates(max_nodes)
+
+    def _rack_candidates(self, max_nodes: int) -> tuple[int, ...]:
+        """Rack-decomposed candidate node counts.
+
+        Slots fill in rack order, and within one rack every node is
+        interchangeable at the cluster-level granularity, so the search
+        only needs (a) every count inside the first rack — the
+        small-job regime where exact node count matters most — plus
+        (b) each whole-rack prefix boundary, plus (c) the feasibility
+        maximum.  Search cost scales with rack size, not fleet size.
+        """
+        sizes = np.bincount(np.asarray(self._rack_of, dtype=np.int64))
+        boundaries = np.cumsum(sizes)
+        cands = set(range(1, min(int(boundaries[0]), max_nodes) + 1))
+        cands.update(int(b) for b in boundaries if b <= max_nodes)
+        cands.add(max_nodes)
+        return tuple(sorted(cands))
 
     def allocate(
         self,
@@ -162,7 +203,30 @@ class ClusterAllocator:
         else:
             raise SchedulingError(f"unknown allocation mode {mode!r}")
 
-        if self._ranges is None:
+        rack_budgets = None
+        if self._rack_of is not None:
+            # multi-rack fleet: split cluster → rack → node
+            if self._ranges is None:
+                lo_b: float | np.ndarray = lo
+                hi_b: float | np.ndarray = hi
+                total = min(cluster_budget_w / n_nodes, hi) * n_nodes
+            else:
+                lo_b = np.array([r[0] for r in self._ranges[:n_nodes]])
+                hi_b = np.array([r[1] for r in self._ranges[:n_nodes]])
+                total = min(cluster_budget_w, float(hi_b.sum()))
+            from repro.core.hierarchy import split_cluster_budget
+
+            budgets, rack_records = split_cluster_budget(
+                total,
+                self._factors[:n_nodes],
+                lo_b,
+                hi_b,
+                self._rack_of,
+                rack_names=self._rack_names,
+                threshold=self._threshold,
+            )
+            rack_budgets = tuple(r.budget_w for r in rack_records)
+        elif self._ranges is None:
             per_node = min(cluster_budget_w / n_nodes, hi)
             budgets = coordinate_power(
                 per_node * n_nodes,
@@ -191,6 +255,7 @@ class ClusterAllocator:
             node_ranges_w=(
                 self._ranges[:n_nodes] if self._ranges is not None else None
             ),
+            rack_budgets_w=rack_budgets,
         )
 
     # ------------------------------------------------------------------
@@ -262,10 +327,24 @@ class ClusterAllocator:
     def _predictive_node_count(
         self, budget: float, predefined: tuple[int, ...] | None
     ) -> int:
-        """Score candidate counts with the performance model."""
+        """Score candidate counts with the performance model.
+
+        The per-node share clamps to the acceptable ceiling, so many
+        candidate counts collapse to the same recommendation input on a
+        large fleet — the recommender is consulted once per *unique*
+        clamped share, keeping the scan's model cost bounded by the
+        number of distinct shares rather than the fleet size.
+        """
+        _, hi = self.acceptable_range()
         best_n, best_perf = None, -np.inf
+        memo: dict[float, float] = {}
         for n in self.candidate_node_counts(budget, predefined):
-            perf = self._predict_cluster_perf(n, budget / n)
+            share = min(budget / n, hi)
+            node_perf = memo.get(share)
+            if node_perf is None:
+                node_perf = self._predict_node_perf(share)
+                memo[share] = node_perf
+            perf = node_perf * n
             if perf > best_perf * (1.0 + 1e-9):
                 best_n, best_perf = n, perf
         if best_n is None:  # pragma: no cover - candidates is non-empty
@@ -281,9 +360,13 @@ class ClusterAllocator:
         communication model — the allocator's estimate is deliberately
         the paper's optimistic one).
         """
+        return self._predict_node_perf(node_budget) * n_nodes
+
+    def _predict_node_perf(self, node_budget: float) -> float:
+        """Predicted single-node throughput at a candidate budget."""
         _, hi = self.acceptable_range()
         try:
             cfg = self._rec.recommend(min(node_budget, hi))
         except InfeasibleBudgetError:
             return -np.inf
-        return cfg.predicted_perf * n_nodes
+        return cfg.predicted_perf

@@ -22,6 +22,7 @@ __all__ = [
     "VARIABILITY_THRESHOLD",
     "measure_node_factors",
     "coordinate_power",
+    "waterfill_surplus",
 ]
 
 #: Relative max-to-min power spread below which nodes are treated as
@@ -67,20 +68,38 @@ def measure_node_factors(engine: ExecutionEngine, n_threads: int | None = None) 
     mean-normalization runs within each hardware class: a Broadwell
     legitimately draws different watts than a Haswell, and only the
     within-class silicon spread is manufacturing variability.
+
+    The per-node kernels are scored as **one batched array program**
+    (:meth:`ExecutionEngine.evaluate_many`), and the resulting factors
+    are cached on the engine keyed by the cluster fingerprint (specs,
+    per-node efficiencies, failed set) — ``fail_node`` /
+    ``recover_node`` / ``degrade_node`` all change the fingerprint, so
+    a mutation invalidates the cached calibration by construction while
+    repeated scheduler constructions against the same fleet skip
+    recalibration entirely.
     """
     cluster = engine.cluster
-    powers = np.full(cluster.n_nodes, np.nan)
-    for i in cluster.available_node_ids:
-        node_spec = cluster.node(i).spec
-        result = engine.run(
-            _CALIBRATION_APP,
-            ExecutionConfig(
-                n_nodes=1,
-                n_threads=n_threads or node_spec.n_cores // 2,
-                node_ids=(i,),
-                frequency_hz=node_spec.socket.f_nominal,
-            ),
+    cache = engine.calibration_cache
+    key = engine.calibration_fingerprint(n_threads)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached.copy()
+    available = cluster.available_node_ids
+    if not available:
+        raise SchedulingError("cannot calibrate: every node is failed")
+    specs_by_id = [cluster.node(i).spec for i in available]
+    configs = [
+        ExecutionConfig(
+            n_nodes=1,
+            n_threads=n_threads or node_spec.n_cores // 2,
+            node_ids=(i,),
+            frequency_hz=node_spec.socket.f_nominal,
         )
+        for i, node_spec in zip(available, specs_by_id)
+    ]
+    results = engine.evaluate_many(_CALIBRATION_APP, configs)
+    powers = np.full(cluster.n_nodes, np.nan)
+    for i, result in zip(available, results):
         rec = result.nodes[0]
         powers[i] = rec.operating_point.pkg_power_w + rec.operating_point.dram_power_w
     measured = powers[~np.isnan(powers)]
@@ -91,15 +110,83 @@ def measure_node_factors(engine: ExecutionEngine, n_threads: int | None = None) 
         factors = powers / measured.mean()
     else:
         factors = np.full(cluster.n_nodes, np.nan)
-        for node_spec in dict.fromkeys(spec.node_specs):
-            in_class = np.array(
-                [s == node_spec for s in spec.node_specs], dtype=bool
-            )
+        # one gather: map each slot to its hardware class, then
+        # mean-normalize within each class (first-appearance order)
+        class_of: dict = {}
+        cls_ids = np.fromiter(
+            (class_of.setdefault(s, len(class_of)) for s in spec.node_specs),
+            dtype=np.int64,
+            count=cluster.n_nodes,
+        )
+        for k in range(len(class_of)):
+            in_class = cls_ids == k
             class_measured = powers[in_class & ~np.isnan(powers)]
             if class_measured.size:
                 factors[in_class] = powers[in_class] / class_measured.mean()
     factors[np.isnan(factors)] = 1.0
+    cache[key] = factors.copy()
     return factors
+
+
+def waterfill_surplus(
+    budgets: np.ndarray,
+    surplus: float,
+    weights: np.ndarray,
+    hi: np.ndarray | float,
+) -> np.ndarray:
+    """Distribute *surplus* watts onto *budgets*, exactly, water-filling.
+
+    Each entry grows proportionally to its weight until it pins at its
+    own ceiling; pinned entries stop absorbing and the remainder keeps
+    flowing to the others.  The result satisfies
+    ``sum(out) == sum(budgets) + min(surplus, sum(hi - budgets))`` up to
+    float round-off — the exact fill the old fixed-pass loop could miss
+    when many entries pinned at ``hi`` (each pass spilled onto *all*
+    open entries proportionally and terminated after a fixed count).
+
+    The no-pin case reproduces the historical single proportional pass
+    bit-for-bit; pinning triggers the exact breakpoint solve (sort the
+    pin thresholds ``room/weight``, prefix-sum the absorbed watts, and
+    solve the final linear segment).
+    """
+    n = len(budgets)
+    hi = np.broadcast_to(np.asarray(hi, dtype=np.float64), (n,))
+    room = hi - budgets
+    open_idx = room > 1e-12
+    if surplus <= 1e-9 or not np.any(open_idx):
+        return budgets
+    # historical first pass: spill proportionally onto the open entries
+    add = np.zeros(n)
+    add[open_idx] = surplus * weights[open_idx] / weights[open_idx].sum()
+    new = np.minimum(budgets + add, hi)
+    remaining = surplus - float((new - budgets).sum())
+    if remaining <= 1e-9:
+        return new
+    # entries pinned: exact breakpoint water-fill from the original
+    # budgets.  Fully saturated when the surplus covers all open room.
+    idx = np.flatnonzero(open_idx)
+    if surplus >= float(room[idx].sum()) - 1e-12:
+        out = budgets.copy()
+        out[idx] = hi[idx]
+        return out
+    t_pin = room[idx] / weights[idx]  # per-entry pinning threshold
+    order = np.argsort(t_pin, kind="stable")
+    t_s = t_pin[order]
+    w_s = weights[idx][order]
+    room_cum = np.cumsum(room[idx][order])
+    w_tail = w_s.sum() - np.cumsum(w_s)
+    # watts absorbed when the water level reaches each breakpoint
+    absorbed_at = room_cum + t_s * w_tail
+    k = int(np.searchsorted(absorbed_at, surplus, side="left"))
+    prev_room = float(room_cum[k - 1]) if k > 0 else 0.0
+    w_rem = float(w_s[k:].sum())
+    t_star = (surplus - prev_room) / w_rem
+    out = budgets.copy()
+    pinned = idx[order[:k]]
+    rest = idx[order[k:]]
+    out[pinned] = hi[pinned]
+    out[rest] = np.minimum(budgets[rest] + t_star * weights[rest], hi[rest])
+    return out
 
 
 def coordinate_power(
@@ -174,20 +261,7 @@ def coordinate_power(
             room = budgets - lo_s
             budgets = budgets - deficit * room / room.sum()
             return np.clip(budgets, lo_s, hi_s)
-        surplus = -deficit
-        for _ in range(8):
-            if surplus <= 1e-9:
-                break
-            room = hi_s - budgets
-            open_idx = room > 1e-12
-            if not np.any(open_idx):
-                break
-            add = np.zeros(n)
-            add[open_idx] = surplus * factors[open_idx] / factors[open_idx].sum()
-            new = np.minimum(budgets + add, hi_s)
-            surplus -= float((new - budgets).sum())
-            budgets = new
-        return budgets
+        return waterfill_surplus(budgets, -deficit, factors, hi_s)
 
     # -- per-node ranges (heterogeneous clusters) -----------------------
     # Even a below-threshold spread must respect per-node bounds, so
@@ -220,17 +294,4 @@ def coordinate_power(
         if room.sum() > 1e-12:
             budgets = budgets - deficit * room / room.sum()
         return np.clip(budgets, lo, hi)
-    surplus = -deficit
-    for _ in range(8):
-        if surplus <= 1e-9:
-            break
-        room = hi - budgets
-        open_idx = room > 1e-12
-        if not np.any(open_idx):
-            break
-        add = np.zeros(n)
-        add[open_idx] = surplus * weights[open_idx] / weights[open_idx].sum()
-        new = np.minimum(budgets + add, hi)
-        surplus -= float((new - budgets).sum())
-        budgets = new
-    return budgets
+    return waterfill_surplus(budgets, -deficit, weights, hi)

@@ -1,0 +1,193 @@
+"""Hierarchical cluster → rack → node budget partitioning.
+
+A 1,000-node facility does not coordinate power as one flat pool:
+FastCap-style hierarchical capping splits the budget at an intermediate
+enclosure level first, then solves each enclosure independently — the
+split is exact, each sub-problem is small, and the search cost scales
+with rack size instead of fleet size.
+
+:func:`split_cluster_budget` implements the two-level split for CLIP:
+the cluster budget is divided across racks proportionally to each
+rack's aggregate power capacity (the sum of its slots' acceptable
+ceilings), clamped into ``[sum(lo), sum(hi)]`` per rack with the same
+exact deficit/water-fill machinery the node-level coordinator uses,
+then each rack's share is handed to
+:func:`~repro.core.coordination.coordinate_power` for the
+variability-aware intra-rack split.  Both levels are auditable: the
+returned :class:`RackBudget` records carry the rack shares so
+:class:`~repro.core.monitor.BudgetInvariantMonitor` can check
+``sum(rack budgets) <= cluster budget`` and, per rack,
+``sum(node caps) <= rack budget``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coordination import (
+    VARIABILITY_THRESHOLD,
+    coordinate_power,
+    waterfill_surplus,
+)
+from repro.errors import SchedulingError
+
+__all__ = ["RackBudget", "split_cluster_budget"]
+
+
+@dataclass(frozen=True)
+class RackBudget:
+    """One rack's share of the cluster budget.
+
+    ``budget_w`` is the share assigned by the cluster-level split;
+    ``allocated_w`` is what the intra-rack coordination actually handed
+    out (at most ``budget_w``).  ``lo_w`` / ``hi_w`` are the rack's
+    aggregate floor and ceiling (sums over its participating slots).
+    """
+
+    index: int
+    name: str
+    start_slot: int
+    n_nodes: int
+    budget_w: float
+    allocated_w: float
+    lo_w: float
+    hi_w: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "index": self.index,
+            "name": self.name,
+            "start_slot": self.start_slot,
+            "n_nodes": self.n_nodes,
+            "budget_w": self.budget_w,
+            "allocated_w": self.allocated_w,
+            "lo_w": self.lo_w,
+            "hi_w": self.hi_w,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "RackBudget":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            index=int(raw["index"]),
+            name=str(raw["name"]),
+            start_slot=int(raw["start_slot"]),
+            n_nodes=int(raw["n_nodes"]),
+            budget_w=float(raw["budget_w"]),
+            allocated_w=float(raw["allocated_w"]),
+            lo_w=float(raw["lo_w"]),
+            hi_w=float(raw["hi_w"]),
+        )
+
+
+def split_cluster_budget(
+    total_budget_w: float,
+    factors: np.ndarray,
+    lo_w: float | np.ndarray,
+    hi_w: float | np.ndarray,
+    rack_of_slot: tuple[int, ...] | np.ndarray,
+    rack_names: tuple[str, ...] | None = None,
+    threshold: float = VARIABILITY_THRESHOLD,
+) -> tuple[np.ndarray, tuple[RackBudget, ...]]:
+    """Split a cluster budget cluster → rack → node.
+
+    Parameters
+    ----------
+    total_budget_w:
+        Power available to all participating nodes together.
+    factors:
+        Per-slot efficiency factors (participating slots only).
+    lo_w / hi_w:
+        Acceptable per-node power range — scalar or one entry per
+        participating slot.
+    rack_of_slot:
+        Rack index of each participating slot.  Slots of one rack must
+        be contiguous (slots are filled in rack order).
+    rack_names:
+        Display names per rack index (defaults to ``rackN``).
+    threshold:
+        Variability spread below which intra-rack splits stay uniform.
+
+    Returns
+    -------
+    (budgets, rack_budgets):
+        Per-slot budgets (same order as ``factors``) and one
+        :class:`RackBudget` per rack with participating slots.
+
+    Raises
+    ------
+    SchedulingError
+        If the budget cannot give every slot its floor, or the slots of
+        a rack are not contiguous.
+    """
+    factors = np.asarray(factors, dtype=np.float64)
+    n = len(factors)
+    if n < 1:
+        raise SchedulingError("need at least one participating node")
+    rack_of = np.asarray(rack_of_slot[:n], dtype=np.int64)
+    if len(rack_of) != n:
+        raise SchedulingError("rack_of_slot must cover every participating slot")
+    if np.any(np.diff(rack_of) < 0):
+        raise SchedulingError("slots of one rack must be contiguous")
+    lo = np.array(np.broadcast_to(np.asarray(lo_w, dtype=np.float64), (n,)))
+    hi = np.array(np.broadcast_to(np.asarray(hi_w, dtype=np.float64), (n,)))
+    if np.any(lo <= 0) or np.any(hi < lo):
+        raise SchedulingError("invalid per-node power ranges")
+
+    # racks that actually hold participating slots, in slot order
+    present = np.unique(rack_of)
+    n_present = len(present)
+    # position of each slot's rack inside `present`
+    pos = np.searchsorted(present, rack_of)
+    rack_lo = np.bincount(pos, weights=lo, minlength=n_present)
+    rack_hi = np.bincount(pos, weights=hi, minlength=n_present)
+    sizes = np.bincount(pos, minlength=n_present)
+    starts = np.concatenate(([0], np.cumsum(sizes)[:-1])).astype(np.int64)
+
+    total_eff = min(float(total_budget_w), float(rack_hi.sum()))
+    if total_eff < rack_lo.sum() - 1e-9:
+        raise SchedulingError(
+            f"budget {total_budget_w:.1f} W cannot give {n} nodes their "
+            f"floors summing to {rack_lo.sum():.1f} W"
+        )
+
+    # cluster → rack: proportional to aggregate capacity, clamped into
+    # each rack's [sum(lo), sum(hi)], then the clipping error moved
+    # back exactly (same deficit / water-fill machinery as the node
+    # level)
+    shares = np.clip(total_eff * rack_hi / rack_hi.sum(), rack_lo, rack_hi)
+    deficit = shares.sum() - total_eff
+    if deficit > 1e-9:
+        room = shares - rack_lo
+        if room.sum() > 1e-12:
+            shares = shares - deficit * room / room.sum()
+        shares = np.clip(shares, rack_lo, rack_hi)
+    elif deficit < -1e-9:
+        shares = waterfill_surplus(shares, -deficit, rack_hi, rack_hi)
+
+    # rack → node: the existing variability-aware coordinator per rack
+    budgets = np.empty(n)
+    records = []
+    for k in range(n_present):
+        s, e = int(starts[k]), int(starts[k] + sizes[k])
+        rack_nodes = coordinate_power(
+            float(shares[k]), factors[s:e], lo[s:e], hi[s:e], threshold
+        )
+        budgets[s:e] = rack_nodes
+        r = int(present[k])
+        records.append(
+            RackBudget(
+                index=r,
+                name=rack_names[r] if rack_names is not None else f"rack{r}",
+                start_slot=s,
+                n_nodes=int(sizes[k]),
+                budget_w=float(shares[k]),
+                allocated_w=float(rack_nodes.sum()),
+                lo_w=float(rack_lo[k]),
+                hi_w=float(rack_hi[k]),
+            )
+        )
+    return budgets, tuple(records)

@@ -172,6 +172,29 @@ class BudgetInvariantMonitor:
         self.audits.append(audit)
         return audit
 
+    def audit_split(
+        self,
+        source: str,
+        app_name: str,
+        parent_budget_w: float,
+        child_budgets_w,
+        tolerance_w: float = AUDIT_TOLERANCE_W,
+    ) -> CapAudit:
+        """Audit one level of a hierarchical budget split.
+
+        Checks that the child budgets (e.g. per-rack shares of the
+        cluster budget) sum to at most the parent budget.  Each child
+        budget is recorded as a ``(budget, 0)`` cap pair so the split
+        rides the same append-only ledger as node-level cap sets.
+        """
+        return self.audit(
+            source,
+            app_name,
+            parent_budget_w,
+            tuple((float(b), 0.0) for b in child_budgets_w),
+            tolerance_w=tolerance_w,
+        )
+
     # ------------------------------------------------------------------
 
     @property

@@ -230,6 +230,8 @@ class SchedulingDecision:
             alloc_dict["node_ranges_w"] = [
                 [lo, hi] for lo, hi in self.allocation.node_ranges_w
             ]
+        if self.allocation.rack_budgets_w is not None:
+            alloc_dict["rack_budgets_w"] = list(self.allocation.rack_budgets_w)
         return {
             "app_name": self.app_name,
             "cluster_budget_w": self.cluster_budget_w,
@@ -271,6 +273,11 @@ class SchedulingDecision:
                         for lo, hi in alloc["node_ranges_w"]
                     )
                     if alloc.get("node_ranges_w") is not None
+                    else None
+                ),
+                rack_budgets_w=(
+                    tuple(float(b) for b in alloc["rack_budgets_w"])
+                    if alloc.get("rack_budgets_w") is not None
                     else None
                 ),
             ),
@@ -518,12 +525,16 @@ class AllocateStage:
         variability_threshold: float,
         node_specs: tuple[NodeSpec, ...] | None = None,
         bundle_cache: ModelBundleCache | None = None,
+        rack_of_slot: tuple[int, ...] | None = None,
+        rack_names: tuple[str, ...] | None = None,
     ):
         self._n_total = n_total_nodes
         self._factors = node_factors
         self._threshold = variability_threshold
         self._node_specs = node_specs
         self._cache = bundle_cache
+        self._rack_of = rack_of_slot
+        self._rack_names = rack_names
 
     def _slot_ranges(
         self, ctx: DecisionContext
@@ -545,6 +556,8 @@ class AllocateStage:
             node_factors=self._factors,
             variability_threshold=self._threshold,
             node_ranges=self._slot_ranges(ctx),
+            rack_of_slot=self._rack_of,
+            rack_names=self._rack_names,
         )
         allocation = allocator.allocate(
             ctx.cluster_budget_w,
@@ -558,6 +571,7 @@ class AllocateStage:
         return {
             "n_nodes": ctx.allocation.n_nodes,
             "total_allocated_w": ctx.allocation.total_allocated_w,
+            "n_racks": ctx.allocation.n_racks,
         }
 
 
@@ -585,19 +599,27 @@ class RecommendStage:
         allocation = ctx.allocation
         configs = []
         base = recommender.recommend(min(allocation.node_budgets_w))
+        # split/frequency are pure functions of (budget, hardware
+        # class); on a coordinated fleet most ranks share a handful of
+        # distinct budgets, so memoize per (budget, class) instead of
+        # re-deriving caps node by node
+        split_memo: dict[tuple[float, int], NodeConfig] = {}
         for rank, budget in enumerate(allocation.node_budgets_w):
             # Keep concurrency uniform across ranks (one decomposition);
             # each node spends its own budget on frequency headroom.
             if self._node_specs is None:
                 power_model = ctx.bundle.power_model
+                key = (budget, 0)
             else:
                 power_model = self._cache.get_or_build(
                     ctx.entry, self._node_specs[rank]
                 ).power_model
-            pkg, dram = power_model.split_node_budget(budget, base.n_threads)
-            f = power_model.max_freq_under(pkg, base.n_threads)
-            configs.append(
-                replace(
+                key = (budget, id(power_model))
+            cfg = split_memo.get(key)
+            if cfg is None:
+                pkg, dram = power_model.split_node_budget(budget, base.n_threads)
+                f = power_model.max_freq_under(pkg, base.n_threads)
+                cfg = replace(
                     base,
                     pkg_cap_w=pkg,
                     dram_cap_w=dram,
@@ -605,7 +627,8 @@ class RecommendStage:
                         f if f is not None else base.predicted_frequency_hz
                     ),
                 )
-            )
+                split_memo[key] = cfg
+            configs.append(cfg)
         # phase-by-phase concurrency adjustment (§V-B.1): a phase whose
         # time did not improve from half- to all-core keeps the smaller
         # count (only kept when below the global choice)
@@ -679,6 +702,11 @@ class DecisionPipeline:
         self._node_specs = cluster_spec.node_specs
         self._hetero = not cluster_spec.is_homogeneous
         hetero_specs = self._node_specs if self._hetero else None
+        # rack structure engages only on multi-rack fleets, so legacy
+        # single-rack specs keep their decisions bit-identical
+        multirack = cluster_spec.n_racks > 1
+        self._rack_of = cluster_spec.rack_of_slot if multirack else None
+        self._rack_names = cluster_spec.rack_names if multirack else None
         node = self._node_specs[0]
         self._knowledge_stages = (
             ProfileStage(self._kb, self._profiler),
@@ -693,6 +721,8 @@ class DecisionPipeline:
                 variability_threshold,
                 node_specs=hetero_specs,
                 bundle_cache=self._bundles if self._hetero else None,
+                rack_of_slot=self._rack_of,
+                rack_names=self._rack_names,
             ),
             RecommendStage(
                 node_specs=hetero_specs,
@@ -895,6 +925,35 @@ class DecisionPipeline:
             node_lo_w=lo_bound,
             node_hi_w=hi_bound,
         )
+        rack_budgets = decision.allocation.rack_budgets_w
+        if rack_budgets is not None:
+            # hierarchical contract: rack shares stay under the cluster
+            # budget, and each rack's issued caps stay under its share
+            self._monitor.audit_split(
+                "pipeline.rack",
+                decision.app_name,
+                decision.cluster_budget_w,
+                rack_budgets,
+            )
+            rack_of = self._rack_of
+            caps = [
+                (c.pkg_cap_w, c.dram_cap_w) for c in decision.node_configs
+            ]
+            # slots fill in rack order, so each rack's caps are one
+            # contiguous run — a single walk audits every rack
+            n, i, k = decision.n_nodes, 0, 0
+            while i < n:
+                r = rack_of[i]
+                j = i
+                while j < n and rack_of[j] == r:
+                    j += 1
+                self._monitor.audit(
+                    f"pipeline.rack/{self._rack_names[r]}",
+                    decision.app_name,
+                    rack_budgets[k],
+                    tuple(caps[i:j]),
+                )
+                i, k = j, k + 1
         if trace is not None:
             trace.record(
                 StageRecord(

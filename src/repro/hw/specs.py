@@ -26,6 +26,7 @@ __all__ = [
     "MemorySpec",
     "NodeSpec",
     "NodeGroup",
+    "RackSpec",
     "ClusterSpec",
     "haswell_node",
     "haswell_testbed",
@@ -276,6 +277,60 @@ class NodeGroup:
             raise SpecError(f"node group needs >= 1 node, got {self.count}")
 
 
+@dataclass(frozen=True)
+class RackSpec:
+    """One rack (or enclosure): an ordered run of node groups.
+
+    Racks are the intermediate tier between the cluster and its nodes
+    — the level facility budgets are partitioned at (FastCap-style
+    per-level splitting).  A rack is described exactly like a small
+    cluster population: an ordered tuple of :class:`NodeGroup`\\ s,
+    slot ids assigned in group order within the rack.
+    """
+
+    name: str
+    groups: tuple[NodeGroup, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("rack needs a non-empty name")
+        if not self.groups:
+            raise SpecError(f"rack {self.name!r} needs >= 1 node group")
+        for g in self.groups:
+            if not isinstance(g, NodeGroup):
+                raise SpecError(
+                    f"rack {self.name!r} groups must contain NodeGroup, got {g!r}"
+                )
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of node slots in this rack."""
+        return sum(g.count for g in self.groups)
+
+    @property
+    def node_specs(self) -> tuple[NodeSpec, ...]:
+        """One :class:`NodeSpec` per rack slot, in slot order."""
+        return tuple(g.spec for g in self.groups for _ in range(g.count))
+
+
+def _merge_adjacent_groups(
+    groups: tuple[NodeGroup, ...],
+) -> tuple[NodeGroup, ...]:
+    """Coalesce adjacent groups with identical specs.
+
+    Rack-composed clusters concatenate each rack's groups; a fleet of
+    identical racks would otherwise carry one group per rack and lose
+    its homogeneity (``is_homogeneous`` is the one-group case).
+    """
+    merged: list[NodeGroup] = []
+    for g in groups:
+        if merged and merged[-1].spec == g.spec:
+            merged[-1] = NodeGroup(g.spec, merged[-1].count + g.count)
+        else:
+            merged.append(g)
+    return tuple(merged)
+
+
 class ClusterSpec:
     """A cluster of nodes plus its interconnect.
 
@@ -285,6 +340,12 @@ class ClusterSpec:
     per-slot view is :attr:`node_specs`; the legacy :attr:`node`
     property remains valid only for single-group clusters and raises
     :class:`SpecError` on mixed ones.
+
+    Fleet-scale clusters are composed of **racks** (``racks=``): an
+    ordered tuple of :class:`RackSpec`\\ s whose groups are concatenated
+    (adjacent identical specs merged) into the flat group population,
+    with the rack partition kept alongside for hierarchical budgeting.
+    Clusters built without ``racks=`` are one implicit rack.
 
     ``variability_sigma`` is the relative standard deviation of each
     node's power-efficiency multiplier due to manufacturing variability
@@ -299,6 +360,7 @@ class ClusterSpec:
     __slots__ = (
         "name",
         "groups",
+        "racks",
         "link_latency_s",
         "link_bandwidth",
         "variability_sigma",
@@ -313,12 +375,33 @@ class ClusterSpec:
         node: NodeSpec | None = None,
         *,
         groups: tuple[NodeGroup, ...] | None = None,
+        racks: tuple[RackSpec, ...] | None = None,
         link_latency_s: float = 1.5e-6,
         link_bandwidth: float = gbps(6.8),
         variability_sigma: float = 0.03,
         variability_seed: int = 2017,
     ):
-        if groups is not None:
+        if racks is not None:
+            if groups is not None or n_nodes is not None or node is not None:
+                raise SpecError(
+                    "pass racks= alone, not with groups= or the legacy "
+                    "n_nodes=/node= keywords"
+                )
+            racks = tuple(racks)
+            if not racks:
+                raise SpecError("cluster needs >= 1 rack")
+            for r in racks:
+                if not isinstance(r, RackSpec):
+                    raise SpecError(f"racks must contain RackSpec, got {r!r}")
+            seen: set[str] = set()
+            for r in racks:
+                if r.name in seen:
+                    raise SpecError(f"duplicate rack name {r.name!r}")
+                seen.add(r.name)
+            groups = _merge_adjacent_groups(
+                tuple(g for r in racks for g in r.groups)
+            )
+        elif groups is not None:
             if n_nodes is not None or node is not None:
                 raise SpecError(
                     "pass either groups= or the legacy n_nodes=/node= "
@@ -341,6 +424,7 @@ class ClusterSpec:
             raise SpecError("variability_sigma must lie in [0, 0.5)")
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "groups", groups)
+        object.__setattr__(self, "racks", racks)
         object.__setattr__(self, "link_latency_s", link_latency_s)
         object.__setattr__(self, "link_bandwidth", link_bandwidth)
         object.__setattr__(self, "variability_sigma", variability_sigma)
@@ -361,6 +445,7 @@ class ClusterSpec:
         return (
             self.name,
             self.groups,
+            self.racks,
             self.link_latency_s,
             self.link_bandwidth,
             self.variability_sigma,
@@ -376,8 +461,10 @@ class ClusterSpec:
         return hash(self._identity())
 
     def __repr__(self) -> str:
+        racks = f"racks={self.racks!r}, " if self.racks is not None else ""
         return (
             f"ClusterSpec(name={self.name!r}, groups={self.groups!r}, "
+            f"{racks}"
             f"link_latency_s={self.link_latency_s!r}, "
             f"link_bandwidth={self.link_bandwidth!r}, "
             f"variability_sigma={self.variability_sigma!r}, "
@@ -427,18 +514,71 @@ class ClusterSpec:
             sum(g.count * g.spec.p_node_max_w for g in self.groups)
         )
 
+    # -- rack partition (hierarchical budgeting) ------------------------
+
+    @property
+    def n_racks(self) -> int:
+        """Number of racks (1 for clusters built without ``racks=``)."""
+        return len(self.racks) if self.racks is not None else 1
+
+    @property
+    def rack_names(self) -> tuple[str, ...]:
+        """Rack names, in rack order (a single implicit ``rack0``
+        when the cluster was built without ``racks=``)."""
+        if self.racks is None:
+            return ("rack0",)
+        return tuple(r.name for r in self.racks)
+
+    @property
+    def rack_sizes(self) -> tuple[int, ...]:
+        """Node count per rack, in rack order."""
+        if self.racks is None:
+            return (self.n_nodes,)
+        return tuple(r.n_nodes for r in self.racks)
+
+    @property
+    def rack_of_slot(self) -> tuple[int, ...]:
+        """Rack index of every node slot, in slot-id order.
+
+        Slot ids run rack by rack: rack 0's slots first, then rack 1's,
+        matching the group concatenation order of the constructor.
+        """
+        return tuple(
+            r for r, size in enumerate(self.rack_sizes) for _ in range(size)
+        )
+
 
 def haswell_node(name: str = "haswell") -> NodeSpec:
     """The paper's node: 2× 12-core E5-2670 v3 @ 2.30 GHz, 128 GB DDR4."""
     return NodeSpec(name=name)
 
 
+def _rack_fleet(racks: int, rack_groups: tuple[NodeGroup, ...]) -> tuple[RackSpec, ...]:
+    """*racks* identical racks, each carrying *rack_groups*."""
+    if racks < 2:
+        raise SpecError(f"a rack fleet needs >= 2 racks, got {racks}")
+    return tuple(RackSpec(f"rack{r}", rack_groups) for r in range(racks))
+
+
 def haswell_testbed(
     n_nodes: int = 8,
     variability_sigma: float = 0.03,
     seed: int = 2017,
+    racks: int | None = None,
 ) -> ClusterSpec:
-    """The paper's testbed: an 8-node dual-socket Haswell cluster (§V-A)."""
+    """The paper's testbed: an 8-node dual-socket Haswell cluster (§V-A).
+
+    ``racks=N`` (N >= 2) composes a fleet of N identical racks of
+    ``n_nodes`` Haswell nodes each; ``racks=None`` or ``racks=1`` keeps
+    the original single-rack construction bit-identical.
+    """
+    if racks is not None and racks > 1:
+        return ClusterSpec(
+            name="haswell-testbed",
+            racks=_rack_fleet(racks, (NodeGroup(haswell_node(), n_nodes),)),
+            variability_sigma=variability_sigma,
+            variability_seed=seed,
+        )
     return ClusterSpec(
         name="haswell-testbed",
         n_nodes=n_nodes,
@@ -487,8 +627,21 @@ def broadwell_testbed(
     n_nodes: int = 8,
     variability_sigma: float = 0.03,
     seed: int = 2016,
+    racks: int | None = None,
 ) -> ClusterSpec:
-    """An 8-node Broadwell-class cluster for generality studies."""
+    """An 8-node Broadwell-class cluster for generality studies.
+
+    ``racks=N`` (N >= 2) composes N identical Broadwell racks.
+    """
+    if racks is not None and racks > 1:
+        return ClusterSpec(
+            name="broadwell-testbed",
+            racks=_rack_fleet(racks, (NodeGroup(broadwell_node(), n_nodes),)),
+            link_latency_s=1.2e-6,
+            link_bandwidth=gbps(12.0),
+            variability_sigma=variability_sigma,
+            variability_seed=seed,
+        )
     return ClusterSpec(
         name="broadwell-testbed",
         n_nodes=n_nodes,
@@ -505,6 +658,7 @@ def mixed_testbed(
     n_broadwell: int = 4,
     variability_sigma: float = 0.03,
     seed: int = 2017,
+    racks: int | None = None,
 ) -> ClusterSpec:
     """A mixed fleet: Haswell slots first, then Broadwell slots.
 
@@ -513,7 +667,25 @@ def mixed_testbed(
     Haswell group comes first deliberately — slot 0 (where profiling
     samples land) is the *smaller* node class, so a uniform per-rank
     thread count chosen from it is valid on every slot.
+
+    ``racks=N`` (N >= 2) composes N identical mixed racks, each with
+    ``n_haswell`` Haswell slots followed by ``n_broadwell`` Broadwell
+    slots; ``racks=None`` or ``racks=1`` keeps the original
+    single-rack construction bit-identical.
     """
+    if racks is not None and racks > 1:
+        return ClusterSpec(
+            name="mixed-testbed",
+            racks=_rack_fleet(
+                racks,
+                (
+                    NodeGroup(haswell_node(), n_haswell),
+                    NodeGroup(broadwell_node(), n_broadwell),
+                ),
+            ),
+            variability_sigma=variability_sigma,
+            variability_seed=seed,
+        )
     return ClusterSpec(
         name="mixed-testbed",
         groups=(

@@ -128,6 +128,7 @@ class ExecutionEngine:
         self._seed = seed
         self._cache = cache
         self._batch = None
+        self._calibration: dict = {}
 
     @property
     def cluster(self) -> SimulatedCluster:
@@ -161,6 +162,25 @@ class ExecutionEngine:
     @cache.setter
     def cache(self, cache) -> None:
         self._cache = cache
+
+    @property
+    def calibration_cache(self) -> dict:
+        """Cached node-factor calibrations keyed by cluster fingerprint."""
+        return self._calibration
+
+    def calibration_fingerprint(self, n_threads: int | None = None):
+        """Key identifying the fleet state a calibration is valid for.
+
+        Includes per-node efficiencies and the failed set, so
+        ``fail_node`` / ``recover_node`` / ``degrade_node`` each change
+        the fingerprint and invalidate cached factors by construction.
+        """
+        return (
+            n_threads,
+            self._cluster.spec,
+            tuple(n.efficiency for n in self._cluster.nodes),
+            self._cluster.failed_node_ids,
+        )
 
     def cache_key(self, app: WorkloadCharacteristics, config: ExecutionConfig):
         """Memoization key for one (app, config) run on this engine.

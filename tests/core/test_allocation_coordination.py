@@ -9,6 +9,7 @@ from repro.core.coordination import (
     VARIABILITY_THRESHOLD,
     coordinate_power,
     measure_node_factors,
+    waterfill_surplus,
 )
 from repro.core.perfmodel import PerformancePredictor
 from repro.core.powermodel import ClipPowerModel
@@ -121,6 +122,62 @@ class TestCoordinatePowerProperties:
         assert np.all(budgets >= lo - tol)
         assert np.all(budgets <= hi + tol)
 
+    @settings(max_examples=200, deadline=None)
+    @given(case=_coordination_cases())
+    def test_exact_fill_property(self, case):
+        """The water-fill contract: sum(budgets) == min(budget, sum(hi)).
+
+        The old fixed 8-pass redistribution could terminate with
+        unallocated surplus when many nodes pinned at ``hi``; the exact
+        water-fill pass always hands out everything the ceilings admit.
+        """
+        total, factors, lo, hi = case
+        budgets = coordinate_power(total, factors, lo_w=lo, hi_w=hi)
+        n = len(factors)
+        expected = min(total, n * hi)
+        tol = 1e-6 * max(total, 1.0)
+        assert budgets.sum() == pytest.approx(expected, abs=tol)
+
+    def test_waterfill_exact_when_many_pin(self):
+        """Heavily skewed weights pin most entries at hi immediately —
+        the regime where a fixed-pass loop under-allocates."""
+        budgets = np.full(8, 100.0)
+        hi = np.array([101.0] * 7 + [500.0])
+        weights = np.array([100.0] * 7 + [1e-3])
+        out = waterfill_surplus(budgets, 300.0, weights, hi)
+        assert out.sum() == pytest.approx(800.0 + 300.0)
+        assert np.all(out <= hi + 1e-9)
+        np.testing.assert_allclose(out[:7], 101.0)
+        assert out[7] == pytest.approx(393.0)
+
+    def test_waterfill_saturates_all_ceilings(self):
+        budgets = np.array([100.0, 150.0])
+        out = waterfill_surplus(budgets, 1000.0, np.ones(2), 200.0)
+        np.testing.assert_allclose(out, 200.0)
+
+    def test_waterfill_zero_surplus_is_identity(self):
+        budgets = np.array([110.0, 120.0])
+        out = waterfill_surplus(budgets, 0.0, np.ones(2), 200.0)
+        np.testing.assert_allclose(out, budgets)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        surplus=st.floats(min_value=0.0, max_value=2000.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_waterfill_exactness_property(self, n, surplus, seed):
+        rng = np.random.default_rng(seed)
+        budgets = rng.uniform(50.0, 150.0, n)
+        hi = budgets + rng.uniform(0.0, 120.0, n)
+        weights = rng.uniform(0.1, 10.0, n)
+        out = waterfill_surplus(budgets.copy(), surplus, weights, hi)
+        absorbed = min(surplus, float((hi - budgets).sum()))
+        tol = 1e-6 * max(surplus, 1.0)
+        assert out.sum() == pytest.approx(budgets.sum() + absorbed, abs=tol)
+        assert np.all(out >= budgets - 1e-9)
+        assert np.all(out <= hi + 1e-9)
+
     def test_low_clamp_deficit_redistributed(self):
         """Regression: clamping weak nodes up to lo_w must not overspend.
 
@@ -148,6 +205,34 @@ class TestMeasureNodeFactors:
     def test_mean_normalized(self, engine):
         measured = measure_node_factors(engine)
         assert measured.mean() == pytest.approx(1.0)
+
+    def test_calibration_cached_per_fingerprint(self, engine):
+        first = measure_node_factors(engine)
+        assert len(engine.calibration_cache) == 1
+        second = measure_node_factors(engine)
+        np.testing.assert_array_equal(first, second)
+        assert len(engine.calibration_cache) == 1  # served from cache
+        # the returned array is a copy: mutating it must not poison
+        # later calibrations
+        second[0] = 99.0
+        np.testing.assert_array_equal(measure_node_factors(engine), first)
+
+    def test_fail_and_recover_invalidate_calibration(self, engine):
+        healthy = measure_node_factors(engine)
+        engine.cluster.fail_node(2)
+        failed = measure_node_factors(engine)
+        assert failed[2] == pytest.approx(1.0)  # neutral placeholder
+        assert len(engine.calibration_cache) == 2
+        engine.cluster.recover_node(2)
+        recovered = measure_node_factors(engine)
+        np.testing.assert_array_equal(recovered, healthy)
+
+    def test_degrade_invalidates_calibration(self, engine):
+        before = measure_node_factors(engine)
+        engine.cluster.degrade_node(1, 1.5)
+        after = measure_node_factors(engine)
+        assert after[1] > before[1]
+        assert len(engine.calibration_cache) == 2
 
 
 class TestClusterAllocator:

@@ -1,0 +1,177 @@
+"""Tests for hierarchical cluster → rack → node budget partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.experiments import build_trained_inflection
+from repro.core.hierarchy import RackBudget, split_cluster_budget
+from repro.core.knowledge import KnowledgeDB
+from repro.core.pipeline import DecisionPipeline, SchedulingDecision
+from repro.errors import SchedulingError
+from repro.hw.cluster import SimulatedCluster
+from repro.hw.specs import haswell_testbed, mixed_testbed
+from repro.sim.engine import ExecutionEngine
+from repro.workloads.apps import get_app
+
+
+@st.composite
+def _fleet_cases(draw):
+    """Random feasible (total, factors, lo, hi, rack_of) fleet inputs."""
+    n_racks = draw(st.integers(min_value=1, max_value=5))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=6),
+            min_size=n_racks,
+            max_size=n_racks,
+        )
+    )
+    n = sum(sizes)
+    rack_of = tuple(r for r, size in enumerate(sizes) for _ in range(size))
+    lo = draw(st.floats(min_value=60.0, max_value=140.0))
+    hi = lo + draw(st.floats(min_value=10.0, max_value=180.0))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    factors = rng.uniform(0.8, 1.25, n)
+    headroom = draw(st.floats(min_value=0.0, max_value=1.4))
+    total = n * lo + headroom * n * (hi - lo)
+    return total, factors, lo, hi, rack_of
+
+
+class TestSplitClusterBudget:
+    """Randomized hierarchy invariants."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(case=_fleet_cases())
+    def test_two_level_invariants(self, case):
+        total, factors, lo, hi, rack_of = case
+        budgets, racks = split_cluster_budget(total, factors, lo, hi, rack_of)
+        tol = 1e-6 * max(total, 1.0)
+        # rack budgets sum at most the cluster budget
+        assert sum(r.budget_w for r in racks) <= total + tol
+        # each rack's node budgets sum at most its rack budget, and
+        # the rack share respects the aggregate floor/ceiling
+        for r in racks:
+            segment = budgets[r.start_slot : r.start_slot + r.n_nodes]
+            assert segment.sum() <= r.budget_w + tol
+            assert r.allocated_w == pytest.approx(segment.sum())
+            assert r.lo_w - tol <= r.budget_w <= r.hi_w + tol
+        # every node inside its class range
+        assert np.all(budgets >= lo - tol)
+        assert np.all(budgets <= hi + tol)
+        assert budgets.sum() <= total + tol
+
+    @settings(max_examples=100, deadline=None)
+    @given(case=_fleet_cases())
+    def test_exact_fill(self, case):
+        """The hierarchy keeps the water-fill contract end to end:
+        racks absorb min(budget, sum(hi)) between them."""
+        total, factors, lo, hi, rack_of = case
+        _, racks = split_cluster_budget(total, factors, lo, hi, rack_of)
+        expected = min(total, len(factors) * hi)
+        assert sum(r.budget_w for r in racks) == pytest.approx(
+            expected, abs=1e-6 * max(total, 1.0)
+        )
+
+    def test_single_rack_matches_flat_coordination(self):
+        from repro.core.coordination import coordinate_power
+
+        factors = np.array([0.9, 1.0, 1.1, 1.2])
+        budgets, racks = split_cluster_budget(
+            520.0, factors, 100.0, 200.0, (0, 0, 0, 0)
+        )
+        flat = coordinate_power(
+            min(520.0, 800.0), factors, lo_w=100.0, hi_w=200.0
+        )
+        np.testing.assert_array_equal(budgets, flat)
+        assert len(racks) == 1
+        assert racks[0].n_nodes == 4
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(SchedulingError):
+            split_cluster_budget(
+                150.0, np.ones(2), 100.0, 200.0, (0, 1)
+            )
+
+    def test_non_contiguous_rack_slots_rejected(self):
+        with pytest.raises(SchedulingError):
+            split_cluster_budget(
+                600.0, np.ones(3), 100.0, 200.0, (0, 1, 0)
+            )
+
+    def test_rack_budget_roundtrip(self):
+        _, racks = split_cluster_budget(
+            600.0, np.ones(4), 100.0, 200.0, (0, 0, 1, 1), ("a", "b")
+        )
+        for r in racks:
+            assert RackBudget.from_dict(r.to_dict()) == r
+        assert racks[0].name == "a"
+        assert racks[1].name == "b"
+
+
+@pytest.fixture(scope="module")
+def fleet_pipeline():
+    """A 4-rack (32-node) Haswell fleet with a trained pipeline."""
+    engine = ExecutionEngine(
+        SimulatedCluster(haswell_testbed(racks=4)), seed=42
+    )
+    return DecisionPipeline(
+        engine, build_trained_inflection(engine), knowledge=KnowledgeDB()
+    )
+
+
+class TestHierarchicalDecisions:
+    def test_multirack_decision_carries_rack_budgets(self, fleet_pipeline):
+        decision = fleet_pipeline.decide(get_app("comd"), 4800.0)
+        alloc = decision.allocation
+        assert alloc.rack_budgets_w is not None
+        assert alloc.n_racks >= 1
+        assert sum(alloc.rack_budgets_w) <= 4800.0 * (1 + 1e-9)
+        assert alloc.total_allocated_w <= sum(alloc.rack_budgets_w) * (1 + 1e-9)
+
+    def test_both_levels_audited_clean(self, fleet_pipeline):
+        fleet_pipeline.monitor.reset()
+        fleet_pipeline.decide(get_app("sp-mz.C"), 4800.0)
+        sources = {a.source for a in fleet_pipeline.monitor.audits}
+        assert "pipeline" in sources
+        assert "pipeline.rack" in sources
+        assert any(s.startswith("pipeline.rack/") for s in sources)
+        fleet_pipeline.monitor.assert_clean()
+
+    def test_decision_roundtrips_rack_budgets(self, fleet_pipeline):
+        decision = fleet_pipeline.decide(get_app("comd"), 4800.0)
+        rebuilt = SchedulingDecision.from_dict(decision.to_dict())
+        assert rebuilt.allocation.rack_budgets_w == (
+            decision.allocation.rack_budgets_w
+        )
+
+    def test_mixed_fleet_decision_clean(self):
+        engine = ExecutionEngine(
+            SimulatedCluster(mixed_testbed(racks=2)), seed=42
+        )
+        pipeline = DecisionPipeline(
+            engine, build_trained_inflection(engine), knowledge=KnowledgeDB()
+        )
+        decision = pipeline.decide(get_app("comd"), 3200.0)
+        assert decision.allocation.rack_budgets_w is not None
+        pipeline.monitor.assert_clean()
+
+
+class TestSingleRackEquivalence:
+    """racks=1 (and the legacy constructor) take the identical flat path."""
+
+    def test_racks_one_spec_equals_legacy(self):
+        assert haswell_testbed(racks=1) == haswell_testbed()
+        assert mixed_testbed(racks=1) == mixed_testbed()
+
+    def test_decision_bit_identical_to_flat(self):
+        decisions = []
+        for spec in (haswell_testbed(), haswell_testbed(racks=1)):
+            engine = ExecutionEngine(SimulatedCluster(spec), seed=42)
+            pipeline = DecisionPipeline(
+                engine, build_trained_inflection(engine), knowledge=KnowledgeDB()
+            )
+            decisions.append(pipeline.decide(get_app("sp-mz.C"), 1200.0))
+        flat, racked = decisions
+        assert flat.to_dict() == racked.to_dict()
+        assert racked.allocation.rack_budgets_w is None

@@ -206,3 +206,59 @@ class TestNodeGroups:
         assert spec.node_specs[0].n_cores == min(
             s.n_cores for s in spec.node_specs
         )
+
+
+class TestRackSpecs:
+    def test_rack_fleet_shape(self):
+        spec = haswell_testbed(racks=8)
+        assert spec.n_nodes == 64
+        assert spec.n_racks == 8
+        assert spec.rack_sizes == (8,) * 8
+        assert spec.rack_names == tuple(f"rack{i}" for i in range(8))
+        assert spec.rack_of_slot == tuple(i // 8 for i in range(64))
+
+    def test_homogeneous_racks_stay_homogeneous(self):
+        # identical racks of identical nodes merge into one group, so
+        # the fast homogeneous paths still engage at fleet scale
+        spec = haswell_testbed(racks=4)
+        assert spec.is_homogeneous
+        assert len(spec.groups) == 1
+
+    def test_mixed_racks_keep_class_order(self):
+        spec = mixed_testbed(racks=2)
+        assert not spec.is_homogeneous
+        names = [s.name for s in spec.node_specs]
+        assert names == (["haswell"] * 4 + ["broadwell"] * 4) * 2
+
+    def test_flat_spec_reports_one_rack(self):
+        spec = haswell_testbed()
+        assert spec.n_racks == 1
+        assert spec.rack_sizes == (8,)
+        assert spec.rack_of_slot == (0,) * 8
+
+    def test_racks_one_is_the_legacy_spec(self):
+        assert haswell_testbed(racks=1) == haswell_testbed()
+        assert hash(haswell_testbed(racks=1)) == hash(haswell_testbed())
+
+    def test_duplicate_rack_names_rejected(self):
+        from repro.hw.specs import RackSpec
+
+        group = (NodeGroup(haswell_node(), 2),)
+        with pytest.raises(SpecError):
+            ClusterSpec(racks=(RackSpec("r0", group), RackSpec("r0", group)))
+
+    def test_racks_and_groups_are_exclusive(self):
+        from repro.hw.specs import RackSpec
+
+        group = (NodeGroup(haswell_node(), 2),)
+        with pytest.raises(SpecError):
+            ClusterSpec(
+                racks=(RackSpec("r0", group),),
+                groups=group,
+            )
+
+    def test_rack_needs_at_least_one_group(self):
+        from repro.hw.specs import RackSpec
+
+        with pytest.raises(SpecError):
+            RackSpec("r0", ())
