@@ -1,0 +1,46 @@
+"""Perf guard for accelerator-fleet scheduling.
+
+Runs the GPU benchmark, records the measurements to ``BENCH_gpu.json``
+at the repository root, and enforces the refactor's acceptance bar:
+warm GPU decisions must be measurably faster than cold ones (the
+host↔device cap-ladder enumeration rides the knowledge DB like every
+other class), and the mixed CPU+GPU sweep must close with zero
+budget-invariant violations across all three power domains.
+"""
+
+from bench_gpu import run_gpu_bench
+
+#: Acceptance floor: a warm GPU decision skips profiling and the
+#: offload model fit, so it must be clearly cheaper than a cold one.
+MIN_WARM_SPEEDUP = 1.5
+
+
+def test_gpu_warm_speedup_and_clean_mixed_sweep(report):
+    payload = run_gpu_bench()
+    cold = payload["cold"]
+    warm = payload["warm"]
+    mixed = payload["mixed_sweep"]
+
+    lines = [
+        "GPU fleet — cold vs warm schedule() "
+        f"({len(payload['apps'])} apps, {len(payload['budgets_w'])} budgets)",
+        f"  cold : {cold['per_decision_s'] * 1e3:8.2f} ms/decision "
+        f"({cold['decisions']} decisions)",
+        f"  warm : {warm['per_decision_s'] * 1e3:8.2f} ms/decision "
+        f"({warm['decisions']} decisions, "
+        f"{payload['warm_speedup']:.1f}x)",
+        f"  mixed sweep: {mixed['decisions']} decisions "
+        f"({mixed['offload_decisions']} offloaded) in "
+        f"{mixed['total_s']:.2f} s",
+        f"  audits: {mixed['n_audits']} cap sets, "
+        f"{mixed['n_violations']} violations",
+    ]
+    report("perf_gpu", "\n".join(lines))
+
+    # Correctness first: three-domain cap sets honored the contract on
+    # both fleets, and every GPU app actually got an active device
+    # grant in the mixed sweep.
+    assert payload["gpu_audits"]["n_violations"] == 0
+    assert mixed["n_violations"] == 0
+    assert mixed["offload_decisions"] > 0
+    assert payload["warm_speedup"] >= MIN_WARM_SPEEDUP, payload

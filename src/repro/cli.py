@@ -16,8 +16,9 @@ Subcommands mirror the framework's helper tools (§IV-B):
 
 Commands default to the simulated 8-node Haswell testbed; the
 ``schedule``, ``run``, ``compare`` and ``faults`` subcommands accept
-``--testbed {haswell,broadwell,mixed}`` to target the Broadwell fleet
-or the mixed 4×Haswell + 4×Broadwell cluster instead.
+``--testbed {haswell,broadwell,mixed,gpu,mixed-gpu}`` to target the
+Broadwell fleet, the mixed 4×Haswell + 4×Broadwell cluster, the
+GPU-equipped fleet, or the mixed 4×GPU + 4×CPU fleet instead.
 """
 
 from __future__ import annotations
@@ -38,7 +39,13 @@ from repro.core.profile import SmartProfiler
 from repro.core.scheduler import ClipScheduler
 from repro.errors import ClipError
 from repro.hw.cluster import SimulatedCluster
-from repro.hw.specs import broadwell_testbed, haswell_testbed, mixed_testbed
+from repro.hw.specs import (
+    broadwell_testbed,
+    gpu_testbed,
+    haswell_testbed,
+    mixed_gpu_testbed,
+    mixed_testbed,
+)
 from repro.sim.engine import ExecutionEngine
 from repro.workloads.apps import all_apps, get_app
 
@@ -62,10 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
     def add_testbed(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--testbed",
-            choices=("haswell", "broadwell", "mixed"),
+            choices=("haswell", "broadwell", "mixed", "gpu", "mixed-gpu"),
             default="haswell",
             help="simulated cluster: 8x Haswell (default), 8x Broadwell, "
-            "or the mixed 4x Haswell + 4x Broadwell fleet",
+            "the mixed 4x Haswell + 4x Broadwell fleet, the 8x GPU-node "
+            "fleet, or the mixed 4x GPU + 4x CPU fleet",
         )
         p.add_argument(
             "--racks",
@@ -156,6 +164,8 @@ def _engine(
         "haswell": haswell_testbed,
         "broadwell": broadwell_testbed,
         "mixed": mixed_testbed,
+        "gpu": gpu_testbed,
+        "mixed-gpu": mixed_gpu_testbed,
     }[testbed](racks=racks_arg)
     return ExecutionEngine(SimulatedCluster(spec), seed=seed)
 

@@ -27,16 +27,29 @@ PARABOLIC_THRESHOLD = 1.0
 
 
 class ScalabilityClass(enum.Enum):
-    """The three scalability trends of Section II."""
+    """The scalability trends of Section II, plus accelerator offload.
+
+    ``GPU_OFFLOAD`` marks applications whose profiling samples show the
+    device busy for a substantial share of the iteration (Minos-style
+    accelerator classification).  Host-side thread scaling for these
+    codes behaves like the linear class — the offloaded kernels leave
+    the host share thread-scalable — so the class carries no inflection
+    point; what it adds is the host↔device power trade-off the
+    recommendation stage exploits.
+    """
 
     LINEAR = "linear"
     LOGARITHMIC = "logarithmic"
     PARABOLIC = "parabolic"
+    GPU_OFFLOAD = "gpu_offload"
 
     @property
     def is_nonlinear(self) -> bool:
         """Whether the class carries an inflection point to predict."""
-        return self is not ScalabilityClass.LINEAR
+        return self in (
+            ScalabilityClass.LOGARITHMIC,
+            ScalabilityClass.PARABOLIC,
+        )
 
 
 def classify_ratio(

@@ -90,9 +90,12 @@ def render_script(
         f"allocated {decision.total_capped_w:.0f} W",
     ]
     for i, cfg in enumerate(decision.node_configs):
+        # the --gpu flag appears only for ranks with a device grant, so
+        # CPU-only scripts stay byte-identical to the pre-GPU emitter
         lines.append(
             f"clip-rapl --node {i} --pkg {cfg.pkg_cap_w:.1f} "
             f"--dram {cfg.dram_cap_w:.1f}"
+            + (f" --gpu {cfg.gpu_cap_w:.1f}" if cfg.has_gpu_grant else "")
         )
     cfg = decision.node_configs[0]
     lines.append(

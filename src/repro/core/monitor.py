@@ -61,7 +61,9 @@ class CapAudit:
     source: str
     app_name: str
     cluster_budget_w: float
-    caps: tuple[tuple[float, float], ...]
+    #: Per-node cap tuples: ``(pkg, dram)`` on CPU nodes, ``(pkg,
+    #: dram, gpu)`` on accelerator nodes — a set may mix both.
+    caps: tuple[tuple[float, ...], ...]
     node_lo_w: float | tuple[float, ...] | None
     node_hi_w: float | tuple[float, ...] | None
     violations: tuple[str, ...]
@@ -73,8 +75,8 @@ class CapAudit:
 
     @property
     def total_capped_w(self) -> float:
-        """Sum of all per-node (PKG + DRAM) caps in the set."""
-        return float(sum(pkg + dram for pkg, dram in self.caps))
+        """Sum of every programmed cap across all nodes and domains."""
+        return float(sum(sum(cap) for cap in self.caps))
 
     def to_dict(self) -> dict:
         """JSON-safe representation."""
@@ -116,39 +118,43 @@ class BudgetInvariantMonitor:
         source: str,
         app_name: str,
         cluster_budget_w: float,
-        caps: tuple[tuple[float, float], ...],
+        caps: tuple[tuple[float, ...], ...],
         node_lo_w: "float | Sequence[float] | None" = None,
         node_hi_w: "float | Sequence[float] | None" = None,
         tolerance_w: float = AUDIT_TOLERANCE_W,
     ) -> CapAudit:
         """Record one issued cap set and check the invariants.
 
-        Checks: the summed (PKG + DRAM) caps stay at or under
-        ``cluster_budget_w``; when the acceptable range is supplied,
-        every node's total cap sits in ``[node_lo_w, node_hi_w]``.
-        Bounds may be scalars (one range for all ranks) or per-rank
-        sequences aligned with *caps* — the heterogeneous-cluster form,
-        where each slot's class has its own range.  Range checks use a
-        relative tolerance on top of *tolerance_w* so legitimate float
-        round-off never flags.
+        Checks: the caps summed over every node and power domain stay
+        at or under ``cluster_budget_w``; when the acceptable range is
+        supplied, every node's total cap sits in ``[node_lo_w,
+        node_hi_w]``.  Each node's tuple carries one entry per capped
+        domain — ``(pkg, dram)`` on CPU nodes, ``(pkg, dram, gpu)`` on
+        accelerator nodes — and a set may mix lengths on a mixed
+        fleet.  Bounds may be scalars (one range for all ranks) or
+        per-rank sequences aligned with *caps* — the
+        heterogeneous-cluster form, where each slot's class has its
+        own range.  Range checks use a relative tolerance on top of
+        *tolerance_w* so legitimate float round-off never flags.
         """
         lo_seq = _per_rank_bounds(node_lo_w, len(caps))
         hi_seq = _per_rank_bounds(node_hi_w, len(caps))
         violations: list[str] = []
-        total = float(sum(pkg + dram for pkg, dram in caps))
+        total = float(sum(sum(cap) for cap in caps))
         slack = tolerance_w + 1e-9 * max(abs(cluster_budget_w), 1.0)
         if total > cluster_budget_w + slack:
             violations.append(
                 f"sum of caps {total:.3f} W exceeds cluster budget "
                 f"{cluster_budget_w:.3f} W"
             )
-        for rank, (pkg, dram) in enumerate(caps):
-            node_total = pkg + dram
+        for rank, cap in enumerate(caps):
+            node_total = sum(cap)
             lo = lo_seq[rank] if lo_seq is not None else None
             hi = hi_seq[rank] if hi_seq is not None else None
-            if pkg < -tolerance_w or dram < -tolerance_w:
+            if any(c < -tolerance_w for c in cap):
+                listed = ", ".join(f"{c:.3f}" for c in cap)
                 violations.append(
-                    f"node {rank}: negative cap ({pkg:.3f}, {dram:.3f}) W"
+                    f"node {rank}: negative cap ({listed}) W"
                 )
             if lo is not None and node_total < lo - slack:
                 violations.append(
@@ -164,7 +170,7 @@ class BudgetInvariantMonitor:
             source=source,
             app_name=app_name,
             cluster_budget_w=cluster_budget_w,
-            caps=tuple((float(p), float(d)) for p, d in caps),
+            caps=tuple(tuple(float(c) for c in cap) for cap in caps),
             node_lo_w=_bound_field(node_lo_w),
             node_hi_w=_bound_field(node_hi_w),
             violations=tuple(violations),

@@ -27,6 +27,14 @@ Frequency scaling follows the paper's empirical observation
 (memory/synchronization, the ``b`` term) does not — which is also why
 the model prefers "high frequency to high concurrency for logarithmic
 applications" (§III-A.2).
+
+**GPU-offload** apps take the linear (single-hyperbola) host path —
+there is no inflection point to confirm because host concurrency is
+not the bottleneck — and add a device term: the profiled device-busy
+time scales inversely with the device clock, and the host share that
+is *not* overlapped by the device is whatever the fitted host model
+predicts above the device time.  ``predict_time`` accepts an optional
+``gpu_clock_hz`` to evaluate host↔device power-shift candidates.
 """
 
 from __future__ import annotations
@@ -104,6 +112,10 @@ class PerformancePredictor:
         self._plateau = 0.0
         self._plateau_lo = 0.0
         self._f_lo = profile.all_run.frequency_lo_hz
+        # Device reference point for GPU-offload apps: the measured
+        # busy time at the clock the profiling sample resolved to.
+        self._dev_ref_s = all_.device_s
+        self._gpu_clock_ref_hz = all_.gpu_clock_hz
         if self._cls is ScalabilityClass.LINEAR or inflection_point is None:
             # Eq. 1 — single model through the two mandatory samples.
             self._seg1 = _Hyperbola.through(
@@ -166,14 +178,36 @@ class PerformancePredictor:
         """Frequency the samples ran at; scaling is relative to it."""
         return self._f_ref
 
-    def predict_time(self, n_threads: int, frequency_hz: float | None = None) -> float:
-        """Predicted iteration time at *n_threads* (and frequency)."""
+    @property
+    def device_ref_time_s(self) -> float:
+        """Profiled device-busy time per iteration (0 for host-only)."""
+        return self._dev_ref_s
+
+    @property
+    def gpu_clock_ref_hz(self) -> float:
+        """Device clock the profiling sample ran at (0 for host-only)."""
+        return self._gpu_clock_ref_hz
+
+    def predict_time(
+        self,
+        n_threads: int,
+        frequency_hz: float | None = None,
+        gpu_clock_hz: float | None = None,
+    ) -> float:
+        """Predicted iteration time at *n_threads* (and frequency).
+
+        For GPU-offload apps *gpu_clock_hz* evaluates the prediction at
+        a candidate device clock (defaults to the profiled clock); it
+        is ignored for host-only scalability classes.
+        """
         if not 1 <= n_threads <= self._n_cores:
             raise ProfilingError(
                 f"n_threads {n_threads} outside [1, {self._n_cores}]"
             )
         if frequency_hz is not None and frequency_hz <= 0:
             raise ProfilingError("frequency must be > 0")
+        if gpu_clock_hz is not None and gpu_clock_hz <= 0:
+            raise ProfilingError("gpu clock must be > 0")
         f = frequency_hz if frequency_hz is not None else self._f_ref
         if self._cls is ScalabilityClass.LOGARITHMIC and self._np is not None:
             # roofline: the frequency-scaled compute term (calibrated
@@ -197,10 +231,28 @@ class PerformancePredictor:
             flat = min(self._seg1.b, t)
             scalable = t - flat
         t = max(t, 1e-9)
-        if f == self._f_ref:
-            return t
-        scaled = scalable * (self._f_ref / f) + flat
-        return max(scaled, 1e-9)
+        if f != self._f_ref:
+            t = max(scalable * (self._f_ref / f) + flat, 1e-9)
+        return self._with_device(t, gpu_clock_hz)
+
+    def _with_device(self, t_host: float, gpu_clock_hz: float | None) -> float:
+        """Re-evaluate the device roofline at a candidate clock.
+
+        The profiled iteration time already contains the device share
+        at the reference clock, so the host residual is whatever sits
+        above it; the device term itself scales inversely with clock
+        (device instruction rate ∝ clock).
+        """
+        if (
+            self._cls is not ScalabilityClass.GPU_OFFLOAD
+            or gpu_clock_hz is None
+            or self._dev_ref_s <= 0
+            or self._gpu_clock_ref_hz <= 0
+        ):
+            return t_host
+        host_resid = max(t_host - self._dev_ref_s, 0.0)
+        t_dev = self._dev_ref_s * (self._gpu_clock_ref_hz / gpu_clock_hz)
+        return max(host_resid + t_dev, 1e-9)
 
     def _plateau_at(self, f: float) -> float:
         """Memory plateau at frequency *f* (linear between measurements)."""
@@ -211,9 +263,14 @@ class PerformancePredictor:
         w = (self._f_ref - f) / (self._f_ref - self._f_lo)
         return self._plateau + w * (self._plateau_lo - self._plateau)
 
-    def predict_perf(self, n_threads: int, frequency_hz: float | None = None) -> float:
+    def predict_perf(
+        self,
+        n_threads: int,
+        frequency_hz: float | None = None,
+        gpu_clock_hz: float | None = None,
+    ) -> float:
         """Predicted throughput (1 / iteration time)."""
-        return 1.0 / self.predict_time(n_threads, frequency_hz)
+        return 1.0 / self.predict_time(n_threads, frequency_hz, gpu_clock_hz)
 
     def candidate_concurrencies(self) -> tuple[int, ...]:
         """Even thread counts worth evaluating, per class.

@@ -197,15 +197,28 @@ class SchedulingDecision:
         """Predicted job throughput (iterations/s)."""
         return self.allocation.predicted_cluster_perf
 
+    @property
+    def per_node_caps(self) -> tuple[tuple[float, ...], ...]:
+        """Per-slot cap tuples as programmed into the hardware.
+
+        Two entries (PKG, DRAM) on CPU nodes, three (PKG, DRAM, GPU)
+        on accelerator nodes; a mixed fleet mixes lengths.  CPU-only
+        decisions therefore serialize and compare exactly as before.
+        """
+        return tuple(
+            (c.pkg_cap_w, c.dram_cap_w, c.gpu_cap_w)
+            if c.has_gpu_grant
+            else (c.pkg_cap_w, c.dram_cap_w)
+            for c in self.node_configs
+        )
+
     def to_execution_config(self, iterations: int | None = None) -> ExecutionConfig:
         """Translate the decision into an engine configuration."""
         return ExecutionConfig(
             n_nodes=self.n_nodes,
             n_threads=self.n_threads,
             affinity=self.node_configs[0].affinity,
-            per_node_caps=tuple(
-                (c.pkg_cap_w, c.dram_cap_w) for c in self.node_configs
-            ),
+            per_node_caps=self.per_node_caps,
             iterations=iterations,
             phase_threads=dict(self.phase_threads),
         )
@@ -238,19 +251,26 @@ class SchedulingDecision:
             "scalability_class": self.scalability_class.value,
             "inflection_point": self.inflection_point,
             "allocation": alloc_dict,
-            "node_configs": [
-                {
-                    "n_threads": c.n_threads,
-                    "affinity": c.affinity.value,
-                    "pkg_cap_w": c.pkg_cap_w,
-                    "dram_cap_w": c.dram_cap_w,
-                    "predicted_frequency_hz": c.predicted_frequency_hz,
-                    "predicted_perf": c.predicted_perf,
-                }
-                for c in self.node_configs
-            ],
+            "node_configs": [self._config_dict(c) for c in self.node_configs],
             "phase_threads": dict(self.phase_threads),
         }
+
+    @staticmethod
+    def _config_dict(c: NodeConfig) -> dict:
+        """One node config's JSON form; GPU keys appear only when a
+        device grant exists, so CPU documents stay byte-identical."""
+        d = {
+            "n_threads": c.n_threads,
+            "affinity": c.affinity.value,
+            "pkg_cap_w": c.pkg_cap_w,
+            "dram_cap_w": c.dram_cap_w,
+            "predicted_frequency_hz": c.predicted_frequency_hz,
+            "predicted_perf": c.predicted_perf,
+        }
+        if c.has_gpu_grant:
+            d["gpu_cap_w"] = c.gpu_cap_w
+            d["predicted_gpu_clock_hz"] = c.predicted_gpu_clock_hz
+        return d
 
     @classmethod
     def from_dict(cls, raw: dict) -> "SchedulingDecision":
@@ -289,6 +309,10 @@ class SchedulingDecision:
                     dram_cap_w=float(c["dram_cap_w"]),
                     predicted_frequency_hz=float(c["predicted_frequency_hz"]),
                     predicted_perf=float(c["predicted_perf"]),
+                    gpu_cap_w=float(c.get("gpu_cap_w", 0.0)),
+                    predicted_gpu_clock_hz=float(
+                        c.get("predicted_gpu_clock_hz", 0.0)
+                    ),
                 )
                 for c in raw["node_configs"]
             ),
@@ -608,25 +632,36 @@ class RecommendStage:
             # Keep concurrency uniform across ranks (one decomposition);
             # each node spends its own budget on frequency headroom.
             if self._node_specs is None:
-                power_model = ctx.bundle.power_model
+                bundle = ctx.bundle
                 key = (budget, 0)
             else:
-                power_model = self._cache.get_or_build(
+                bundle = self._cache.get_or_build(
                     ctx.entry, self._node_specs[rank]
-                ).power_model
-                key = (budget, id(power_model))
+                )
+                key = (budget, id(bundle.power_model))
             cfg = split_memo.get(key)
             if cfg is None:
-                pkg, dram = power_model.split_node_budget(budget, base.n_threads)
-                f = power_model.max_freq_under(pkg, base.n_threads)
-                cfg = replace(
-                    base,
-                    pkg_cap_w=pkg,
-                    dram_cap_w=dram,
-                    predicted_frequency_hz=(
-                        f if f is not None else base.predicted_frequency_hz
-                    ),
-                )
+                power_model = bundle.power_model
+                if power_model.gpu_power_range()[1] > 0.0:
+                    # GPU node: three-domain split, re-running the
+                    # host↔device shift against this rank's budget
+                    cfg = bundle.recommender.config_at(budget, base)
+                else:
+                    pkg, dram = power_model.split_node_budget(
+                        budget, base.n_threads
+                    )
+                    f = power_model.max_freq_under(pkg, base.n_threads)
+                    cfg = replace(
+                        base,
+                        pkg_cap_w=pkg,
+                        dram_cap_w=dram,
+                        predicted_frequency_hz=(
+                            f if f is not None else base.predicted_frequency_hz
+                        ),
+                        # this rank has no device, whatever class slot 0 is
+                        gpu_cap_w=0.0,
+                        predicted_gpu_clock_hz=0.0,
+                    )
                 split_memo[key] = cfg
             configs.append(cfg)
         # phase-by-phase concurrency adjustment (§V-B.1): a phase whose
@@ -921,7 +956,7 @@ class DecisionPipeline:
             "pipeline",
             decision.app_name,
             decision.cluster_budget_w,
-            tuple((c.pkg_cap_w, c.dram_cap_w) for c in decision.node_configs),
+            decision.per_node_caps,
             node_lo_w=lo_bound,
             node_hi_w=hi_bound,
         )
@@ -936,9 +971,7 @@ class DecisionPipeline:
                 rack_budgets,
             )
             rack_of = self._rack_of
-            caps = [
-                (c.pkg_cap_w, c.dram_cap_w) for c in decision.node_configs
-            ]
+            caps = list(decision.per_node_caps)
             # slots fill in rack order, so each rack's caps are one
             # contiguous run — a single walk audits every rack
             n, i, k = decision.n_nodes, 0, 0

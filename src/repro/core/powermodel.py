@@ -48,22 +48,30 @@ DRAM_FLOOR_HEADROOM = 1.08
 
 @dataclass(frozen=True)
 class PowerRange:
-    """Per-node acceptable power range for one app at one concurrency."""
+    """Per-node acceptable power range for one app at one concurrency.
+
+    The GPU bounds default to zero: on CPU-only nodes the domain is
+    absent and contributes nothing to the node range.  On GPU nodes
+    the bounds cover the device grant — the full ladder for offloaded
+    apps, the idle draw for host-only apps (the board still burns it).
+    """
 
     cpu_lo_w: float
     cpu_hi_w: float
     mem_lo_w: float
     mem_hi_w: float
+    gpu_lo_w: float = 0.0
+    gpu_hi_w: float = 0.0
 
     @property
     def node_lo_w(self) -> float:
         """Lower bound of the acceptable node power range."""
-        return self.cpu_lo_w + self.mem_lo_w
+        return self.cpu_lo_w + self.mem_lo_w + self.gpu_lo_w
 
     @property
     def node_hi_w(self) -> float:
         """Upper bound — more power than this is wasted on the node."""
-        return self.cpu_hi_w + self.mem_hi_w
+        return self.cpu_hi_w + self.mem_hi_w + self.gpu_hi_w
 
     def contains(self, node_budget_w: float) -> bool:
         """Whether a node budget falls inside the acceptable range."""
@@ -126,6 +134,15 @@ class ClipPowerModel:
             [(half.n_threads, half.pkg_lo_w), (all_.n_threads, all_.pkg_lo_w)]
         )
         self._memory_intensive = profile.memory_intensive
+
+        # --- accelerator domain (Eq. 5 extended) -----------------------
+        # The device has no fitted coefficients: its power quantizes to
+        # the published clock ladder (a machine-specification fact,
+        # like the DVFS range), so the model only needs to know whether
+        # this application drives the device (measured during
+        # profiling) or leaves it idling.
+        self._has_gpu = node.has_gpu
+        self._gpu_offloaded = profile.gpu_offloaded
 
     # ------------------------------------------------------------------
 
@@ -231,6 +248,49 @@ class ClipPowerModel:
 
     # ------------------------------------------------------------------
 
+    @property
+    def gpu_offloaded(self) -> bool:
+        """Whether the profiled app drives the accelerator."""
+        return self._gpu_offloaded
+
+    def gpu_power_range(self) -> tuple[float, float]:
+        """Acceptable device power grant ``(lo, hi)`` in watts.
+
+        Offloaded apps may run anywhere on the clock ladder, so the
+        range spans the lowest to the highest full-utilization level.
+        Host-only apps on a GPU node still burn the idle draw — the
+        grant must cover it, but more is wasted.  Zero-width zero on
+        CPU-only nodes (the domain is absent).
+        """
+        if not self._has_gpu:
+            return (0.0, 0.0)
+        if not self._gpu_offloaded:
+            return (self._node.p_gpu_idle_w, self._node.p_gpu_idle_w)
+        return (self._node.p_gpu_min_w, self._node.p_gpu_max_w)
+
+    def gpu_shift_candidates(
+        self, lo_w: float, hi_w: float
+    ) -> tuple[tuple[float, float], ...]:
+        """Device cap candidates ``(cap_w, clock_hz)`` inside a window.
+
+        Only ladder levels are worth issuing (capping between levels
+        buys nothing), so the EcoShift-style host↔device re-balance
+        enumerates exactly these.  When the window falls between
+        levels, the highest level not exceeding *hi_w* is returned —
+        or the bottom level if even that does not fit, because the
+        device cannot clock lower.
+        """
+        if not self._has_gpu or not self._gpu_offloaded:
+            return ()
+        levels = tuple(
+            zip(self._node.gpu_cap_levels_w, self._node.gpu_level_clocks_hz)
+        )
+        inside = tuple(p for p in levels if lo_w <= p[0] <= hi_w)
+        if inside:
+            return inside
+        under = tuple(p for p in levels if p[0] <= hi_w)
+        return (under[-1],) if under else (levels[0],)
+
     def power_range(self, n_threads: int) -> PowerRange:
         """Acceptable power range at a concurrency (§III-B.1).
 
@@ -247,8 +307,14 @@ class ClipPowerModel:
         mem_lo = min(
             self._interp(self._dram_lo_samples, n_threads, self._mem_base), mem_hi
         )
+        gpu_lo, gpu_hi = self.gpu_power_range()
         return PowerRange(
-            cpu_lo_w=cpu_lo, cpu_hi_w=cpu_hi, mem_lo_w=mem_lo, mem_hi_w=mem_hi
+            cpu_lo_w=cpu_lo,
+            cpu_hi_w=cpu_hi,
+            mem_lo_w=mem_lo,
+            mem_hi_w=mem_hi,
+            gpu_lo_w=gpu_lo,
+            gpu_hi_w=gpu_hi,
         )
 
     def split_node_budget(
@@ -270,6 +336,15 @@ class ClipPowerModel:
                 f"node budget {node_budget_w:.1f} W below acceptable floor "
                 f"{rng.node_lo_w:.1f} W at {n_threads} threads"
             )
+        # The device grant (idle draw for host-only apps on GPU nodes,
+        # zero on CPU nodes — `x - 0.0` leaves host arithmetic
+        # bit-identical) comes off the top before the host split.
+        host = node_budget_w - rng.gpu_lo_w
+        pkg, dram = self._split_host(host, rng)
+        return pkg, dram
+
+    def _split_host(self, host_budget_w: float, rng: PowerRange) -> tuple[float, float]:
+        """PKG/DRAM split of the host share of a node budget."""
         # Anchor the DRAM grant on the highest *measured* DRAM power —
         # demand can only fall with fewer threads or a slower clock —
         # plus headroom; the model estimate alone can overshoot and
@@ -279,9 +354,33 @@ class ClipPowerModel:
             min(rng.mem_hi_w, measured_peak) - self._mem_base
         ) * DRAM_CAP_MARGIN
         dram = max(target, rng.mem_lo_w) * DRAM_FLOOR_HEADROOM
-        dram = min(dram, node_budget_w - rng.cpu_lo_w)
-        pkg = min(node_budget_w - dram, rng.cpu_hi_w)
+        dram = min(dram, host_budget_w - rng.cpu_lo_w)
+        pkg = min(host_budget_w - dram, rng.cpu_hi_w)
         return float(pkg), float(dram)
+
+    def split_node_budget_gpu(
+        self, node_budget_w: float, n_threads: int, gpu_cap_w: float
+    ) -> tuple[float, float, float]:
+        """Split a node budget into (PKG, DRAM, GPU) caps.
+
+        The device grant is chosen by the caller (a ladder level from
+        :meth:`gpu_shift_candidates`, or the idle draw for host-only
+        apps); the remainder splits between the host domains exactly
+        like :meth:`split_node_budget`.  Raises
+        :class:`InfeasibleBudgetError` when the host remainder cannot
+        cover the host floors.
+        """
+        rng = self.power_range(n_threads)
+        host = node_budget_w - gpu_cap_w
+        host_lo = rng.cpu_lo_w + rng.mem_lo_w
+        if host < host_lo:
+            raise InfeasibleBudgetError(
+                f"host remainder {host:.1f} W (node {node_budget_w:.1f} W "
+                f"minus GPU grant {gpu_cap_w:.1f} W) below host floor "
+                f"{host_lo:.1f} W at {n_threads} threads"
+            )
+        pkg, dram = self._split_host(host, rng)
+        return pkg, dram, float(gpu_cap_w)
 
     def cap_ceiling_w(self, n_threads: int) -> float:
         """Highest defensible (PKG + DRAM) cap total at a concurrency.
@@ -293,4 +392,5 @@ class ClipPowerModel:
         anything above it cannot come from a well-formed split.
         """
         rng = self.power_range(n_threads)
-        return rng.cpu_hi_w + rng.mem_hi_w * DRAM_CAP_MARGIN * DRAM_FLOOR_HEADROOM
+        host = rng.cpu_hi_w + rng.mem_hi_w * DRAM_CAP_MARGIN * DRAM_FLOOR_HEADROOM
+        return host + rng.gpu_hi_w

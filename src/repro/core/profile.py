@@ -43,6 +43,14 @@ MEMORY_INTENSIVE_BW_FRACTION = 0.35
 #: Iterations per sample execution (a "few iterations" per §IV-B.1).
 DEFAULT_PROFILE_ITERATIONS = 5
 
+#: Measured device-busy fraction above which an application is treated
+#: as accelerator-offloaded.  The classification is observational, like
+#: the ratio rule: the profiler looks at how much of the all-core
+#: sample's iteration the device spent busy, not at any workload
+#: metadata.  Offload ports sit well above this (≈0.4–0.8 on the
+#: simulated testbed); host-only codes measure exactly 0.
+GPU_OFFLOAD_BUSY_THRESHOLD = 0.3
+
 
 @dataclass(frozen=True)
 class SampleRun:
@@ -69,16 +77,35 @@ class SampleRun:
     t_iter_lo_s: float
     events: EventCounters
     phase_times: tuple[tuple[str, float], ...] = ()
+    #: Time-averaged accelerator power at the highest frequency
+    #: (0 on CPU-only nodes — the GPU domain is absent, not idle).
+    gpu_w: float = 0.0
+    #: Accelerator power during the low-frequency phase.
+    gpu_lo_w: float = 0.0
+    #: Share of the iteration the device spent busy.
+    gpu_busy_fraction: float = 0.0
+    #: Device clock the sample resolved to (0 without a device).
+    gpu_clock_hz: float = 0.0
 
     @property
     def capped_w(self) -> float:
-        """RAPL-visible power at the highest frequency (PKG + DRAM)."""
+        """Host RAPL power at the highest frequency (PKG + DRAM).
+
+        Deliberately excludes the accelerator: the host power model is
+        fitted from these samples, and the GPU domain has its own
+        ladder-derived model.  Use :attr:`gpu_w` for the device share.
+        """
         return self.pkg_w + self.dram_w
 
     @property
     def capped_lo_w(self) -> float:
-        """RAPL-visible power at the lowest frequency."""
+        """Host RAPL power at the lowest frequency."""
         return self.pkg_lo_w + self.dram_lo_w
+
+    @property
+    def device_s(self) -> float:
+        """Measured device-busy time per iteration (seconds)."""
+        return self.gpu_busy_fraction * self.t_iter_s
 
 
 @dataclass(frozen=True)
@@ -100,8 +127,22 @@ class AppProfile:
 
     @property
     def scalability_class(self) -> ScalabilityClass:
-        """Scalability class from the paper's threshold rule."""
+        """Scalability class from the paper's threshold rule.
+
+        A measured device-busy fraction above
+        :data:`GPU_OFFLOAD_BUSY_THRESHOLD` takes precedence: when the
+        accelerator carries the iteration, host thread scaling no
+        longer describes the application and the coordinator must
+        balance the host and device power domains instead.
+        """
+        if self.all_run.gpu_busy_fraction > GPU_OFFLOAD_BUSY_THRESHOLD:
+            return ScalabilityClass.GPU_OFFLOAD
         return classify_ratio(self.half_run.perf, self.all_run.perf)
+
+    @property
+    def gpu_offloaded(self) -> bool:
+        """Whether the device-busy measurement drove the class."""
+        return self.all_run.gpu_busy_fraction > GPU_OFFLOAD_BUSY_THRESHOLD
 
     @property
     def affinity(self) -> AffinityKind:
@@ -260,6 +301,10 @@ class SmartProfiler:
             t_iter_lo_s=low.t_iter_s,
             events=rec.events,
             phase_times=rec.phase_times,
+            gpu_w=rec.avg_gpu_w,
+            gpu_lo_w=low.avg_gpu_w,
+            gpu_busy_fraction=rec.gpu_busy_fraction,
+            gpu_clock_hz=rec.operating_point.gpu_clock_hz,
         )
 
     def profile(self, app: WorkloadCharacteristics) -> AppProfile:

@@ -17,7 +17,7 @@ Conductor-style search.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.classify import ScalabilityClass
 from repro.core.perfmodel import PerformancePredictor
@@ -31,7 +31,12 @@ __all__ = ["NodeConfig", "Recommender"]
 
 @dataclass(frozen=True)
 class NodeConfig:
-    """A recommended node-level execution configuration."""
+    """A recommended node-level execution configuration.
+
+    The GPU fields stay at their zero defaults on CPU-only nodes — the
+    domain is absent, and the configuration compares equal to one from
+    a build that never heard of accelerators.
+    """
 
     n_threads: int
     affinity: AffinityKind
@@ -39,11 +44,18 @@ class NodeConfig:
     dram_cap_w: float
     predicted_frequency_hz: float
     predicted_perf: float
+    gpu_cap_w: float = 0.0
+    predicted_gpu_clock_hz: float = 0.0
 
     @property
     def node_budget_w(self) -> float:
         """Total capped power this configuration is granted."""
-        return self.pkg_cap_w + self.dram_cap_w
+        return self.pkg_cap_w + self.dram_cap_w + self.gpu_cap_w
+
+    @property
+    def has_gpu_grant(self) -> bool:
+        """Whether any device power was granted (idle or active)."""
+        return self.gpu_cap_w > 0.0
 
 
 class Recommender:
@@ -105,10 +117,17 @@ class Recommender:
 
         Evaluates the class's candidate concurrencies: for each, split
         the budget, invert the power model into an achievable
-        frequency, and score with the performance model.  Raises
+        frequency, and score with the performance model.  GPU-offload
+        applications additionally enumerate the device cap ladder at
+        each concurrency (the host↔accelerator power shift).  Raises
         :class:`InfeasibleBudgetError` when no candidate fits.
         """
+        if self._predictor.scalability_class is ScalabilityClass.GPU_OFFLOAD:
+            return self._recommend_gpu(node_budget_w)
         linear = self._predictor.scalability_class is ScalabilityClass.LINEAR
+        # Host-only app on a GPU node: the board idles, but the idle
+        # draw is real and the cap must admit it.  0.0 on CPU nodes.
+        gpu_grant = self._power.gpu_power_range()[0]
         best: NodeConfig | None = None
         for n in self._candidates():
             try:
@@ -127,6 +146,7 @@ class Recommender:
                     dram_cap_w=dram,
                     predicted_frequency_hz=f,
                     predicted_perf=perf,
+                    gpu_cap_w=gpu_grant,
                 )
             if linear and best is not None:
                 # "we do not consider decreasing the concurrency unless
@@ -137,6 +157,113 @@ class Recommender:
             raise InfeasibleBudgetError(
                 f"no feasible configuration for node budget "
                 f"{node_budget_w:.1f} W ({self._profile.app_name})"
+            )
+        return best
+
+    def _recommend_gpu(self, node_budget_w: float) -> NodeConfig:
+        """Best configuration with the host↔device shift (EcoShift).
+
+        At each candidate concurrency (largest first, like the linear
+        rule — host threads only serve the non-offloaded share), every
+        device cap ladder level that leaves the host domains feasible
+        is scored: the device term speeds up with its clock while the
+        host remainder buys frequency, and the predicted-time roofline
+        between them picks the balance point.  The first concurrency
+        with any feasible split wins, mirroring "do not decrease
+        concurrency unless power forces it".
+        """
+        lo, hi = self._power.gpu_power_range()
+        best: NodeConfig | None = None
+        for n in self._candidates():
+            feasible = False
+            for gpu_cap, clk in self._power.gpu_shift_candidates(
+                lo, min(hi, node_budget_w)
+            ):
+                try:
+                    pkg, dram, gpu = self._power.split_node_budget_gpu(
+                        node_budget_w, n, gpu_cap
+                    )
+                except InfeasibleBudgetError:
+                    continue
+                f = self._power.max_freq_under(pkg, n)
+                if f is None:
+                    continue
+                feasible = True
+                perf = self._predictor.predict_perf(n, f, gpu_clock_hz=clk)
+                if best is None or perf > best.predicted_perf * (1.0 + 1e-9):
+                    best = NodeConfig(
+                        n_threads=n,
+                        affinity=self._profile.affinity,
+                        pkg_cap_w=pkg,
+                        dram_cap_w=dram,
+                        predicted_frequency_hz=f,
+                        predicted_perf=perf,
+                        gpu_cap_w=gpu,
+                        predicted_gpu_clock_hz=clk,
+                    )
+            if feasible:
+                break
+        if best is None:
+            raise InfeasibleBudgetError(
+                f"no feasible GPU-offload configuration for node budget "
+                f"{node_budget_w:.1f} W ({self._profile.app_name})"
+            )
+        return best
+
+    def config_at(self, node_budget_w: float, base: NodeConfig) -> NodeConfig:
+        """Cap split for one node budget at an already-chosen concurrency.
+
+        Per-rank budgets differ under variability coordination while
+        the concurrency stays uniform, so each rank re-derives only its
+        cap split (and, on GPU nodes, re-runs the host↔device shift for
+        its own budget).  Used by the recommend stage; CPU-only ranks
+        do not call this (their split stays on the legacy path).
+        """
+        n = base.n_threads
+        lo, hi = self._power.gpu_power_range()
+        if not self._power.gpu_offloaded:
+            pkg, dram, gpu = self._power.split_node_budget_gpu(
+                node_budget_w, n, lo
+            )
+            f = self._power.max_freq_under(pkg, n)
+            return replace(
+                base,
+                pkg_cap_w=pkg,
+                dram_cap_w=dram,
+                gpu_cap_w=gpu,
+                predicted_frequency_hz=(
+                    f if f is not None else base.predicted_frequency_hz
+                ),
+            )
+        best: NodeConfig | None = None
+        for gpu_cap, clk in self._power.gpu_shift_candidates(
+            lo, min(hi, node_budget_w)
+        ):
+            try:
+                pkg, dram, gpu = self._power.split_node_budget_gpu(
+                    node_budget_w, n, gpu_cap
+                )
+            except InfeasibleBudgetError:
+                continue
+            f = self._power.max_freq_under(pkg, n)
+            if f is None:
+                continue
+            perf = self._predictor.predict_perf(n, f, gpu_clock_hz=clk)
+            if best is None or perf > best.predicted_perf * (1.0 + 1e-9):
+                best = replace(
+                    base,
+                    pkg_cap_w=pkg,
+                    dram_cap_w=dram,
+                    gpu_cap_w=gpu,
+                    predicted_frequency_hz=f,
+                    predicted_perf=perf,
+                    predicted_gpu_clock_hz=clk,
+                )
+        if best is None:
+            raise InfeasibleBudgetError(
+                f"no feasible GPU cap split for node budget "
+                f"{node_budget_w:.1f} W at {n} threads "
+                f"({self._profile.app_name})"
             )
         return best
 

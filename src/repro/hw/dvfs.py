@@ -20,7 +20,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.errors import SpecError
-from repro.hw.specs import SocketSpec
+from repro.hw.specs import GpuSpec, SocketSpec
 
 __all__ = ["FrequencyLadder", "DvfsController"]
 
@@ -42,6 +42,11 @@ class FrequencyLadder:
     def from_socket(cls, socket: SocketSpec) -> "FrequencyLadder":
         """Build the ladder declared by a socket specification."""
         return cls(socket.freq_ladder)
+
+    @classmethod
+    def from_gpu(cls, gpu: GpuSpec) -> "FrequencyLadder":
+        """Build the clock ladder declared by an accelerator spec."""
+        return cls(gpu.clock_ladder_hz)
 
     @property
     def frequencies(self) -> tuple[float, ...]:

@@ -97,10 +97,21 @@ class SimulatedNode:
         """Physical cores on the node."""
         return self._spec.n_cores
 
-    def set_power_caps(self, pkg_w: float | None, dram_w: float | None) -> None:
-        """Program both RAPL limits at once (``None`` clears a limit)."""
+    def set_power_caps(
+        self,
+        pkg_w: float | None,
+        dram_w: float | None,
+        gpu_w: float | None = None,
+    ) -> None:
+        """Program the RAPL limits at once (``None`` clears a limit).
+
+        The GPU limit applies only on accelerator-bearing nodes; on
+        CPU-only nodes it is ignored (the domain does not exist).
+        """
         self._rapl.set_cap(Domain.PKG, pkg_w)
         self._rapl.set_cap(Domain.DRAM, dram_w)
+        if self._spec.has_gpu:
+            self._rapl.set_cap(Domain.GPU, gpu_w)
 
     def reset(self) -> None:
         """Clear caps, traces, and return DVFS to nominal."""

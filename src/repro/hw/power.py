@@ -35,29 +35,56 @@ __all__ = ["PowerModel", "PowerBreakdown"]
 
 @dataclass(frozen=True)
 class PowerBreakdown:
-    """Instantaneous node power split by RAPL-visible domain (watts)."""
+    """Instantaneous node power split by RAPL-visible domain (watts).
+
+    ``gpu_w`` is ``None`` on CPU-only nodes — the domain is *absent*,
+    not zero, so consumers can distinguish "no accelerator" from "an
+    idle accelerator".  All domain arithmetic (totals, scaling) is
+    table-driven over :data:`CAPPED_DOMAIN_FIELDS`: a new domain added
+    to the table participates in every aggregate automatically and can
+    never be silently dropped from a total.
+    """
 
     pkg_w: float
     dram_w: float
     other_w: float
+    gpu_w: float | None = None
+
+    #: Cappable domain fields, in summation order.  ``other_w`` stays
+    #: outside: it is real wall power but no RAPL domain controls it.
+    CAPPED_DOMAIN_FIELDS = ("pkg_w", "dram_w", "gpu_w")
+
+    def present_domains(self) -> tuple[tuple[str, float], ...]:
+        """The cappable domains this node actually has, in table order."""
+        return tuple(
+            (name, value)
+            for name in self.CAPPED_DOMAIN_FIELDS
+            if (value := getattr(self, name)) is not None
+        )
 
     @property
     def total_w(self) -> float:
         """Wall power of the node."""
-        return self.pkg_w + self.dram_w + self.other_w
+        return self.capped_w + self.other_w
 
     @property
     def capped_w(self) -> float:
-        """Power under RAPL control (PKG + DRAM)."""
-        return self.pkg_w + self.dram_w
+        """Power under cap-domain control (PKG + DRAM [+ GPU])."""
+        total = 0.0
+        for _, value in self.present_domains():
+            total = total + value
+        return total
 
     def scaled(self, factor: float) -> "PowerBreakdown":
-        """Apply a node-wide efficiency multiplier (variability)."""
-        return PowerBreakdown(
-            pkg_w=self.pkg_w * factor,
-            dram_w=self.dram_w * factor,
-            other_w=self.other_w,
-        )
+        """Apply a node-wide efficiency multiplier (variability).
+
+        Scales every present cappable domain; ``other_w`` (fans, board)
+        does not vary with silicon quality.
+        """
+        scaled = {
+            name: value * factor for name, value in self.present_domains()
+        }
+        return PowerBreakdown(other_w=self.other_w, **scaled)
 
 
 class PowerModel:
@@ -184,6 +211,24 @@ class PowerModel:
         )
         dram = sum(self.dram_power(bw) for bw in bandwidth_per_socket)
         return PowerBreakdown(pkg_w=pkg, dram_w=dram, other_w=node.p_other_w)
+
+    def gpu_power(self, clock_hz: float, utilization: float = 1.0) -> float:
+        """Aggregate device power at *clock_hz* and busy-fraction *util*.
+
+        Like the core model, utilization scales only the dynamic term —
+        an idle board still draws its static power.  Returns 0.0 on
+        CPU-only nodes (the domain does not exist).
+        """
+        gpu = self._node.gpu
+        if gpu is None:
+            return 0.0
+        if clock_hz <= 0:
+            raise SpecError("gpu clock must be > 0")
+        if not 0.0 <= utilization <= 1.0:
+            raise SpecError("gpu utilization must lie in [0, 1]")
+        scale = (clock_hz / gpu.clk_nominal_hz) ** gpu.dyn_exponent
+        per_board = gpu.p_idle_w + gpu.p_dyn_w * scale * utilization
+        return self._node.n_gpus * per_board * self._efficiency
 
     # ------------------------------------------------------------------
     # inverse model: watts -> operating point, used for cap resolution

@@ -44,10 +44,16 @@ MIN_DUTY_CYCLE = 0.0625
 
 
 class Domain(enum.Enum):
-    """RAPL domains the paper's framework caps and measures."""
+    """RAPL domains the framework caps and measures.
+
+    ``GPU`` exists only on accelerator-bearing nodes: their
+    :class:`RaplInterface` grows a third register block, while CPU-only
+    nodes keep exactly the PKG/DRAM pair.
+    """
 
     PKG = "pkg"
     DRAM = "dram"
+    GPU = "gpu"
 
 
 class RaplDomain:
@@ -144,11 +150,21 @@ class OperatingPoint:
     cpu_cap_violated: bool = False
     mem_cap_violated: bool = False
     duty_cycle: float = 1.0
+    #: Device state; all-default on CPU-only nodes.  ``gpu_power_w`` is
+    #: the busy-interval average device power accounted after timing.
+    gpu_clock_hz: float = 0.0
+    gpu_power_w: float = 0.0
+    gpu_throttled: bool = False
+    gpu_cap_violated: bool = False
 
     @property
     def cap_violated(self) -> bool:
-        """Whether either domain runs above its programmed limit."""
-        return self.cpu_cap_violated or self.mem_cap_violated
+        """Whether any domain runs above its programmed limit."""
+        return (
+            self.cpu_cap_violated
+            or self.mem_cap_violated
+            or self.gpu_cap_violated
+        )
 
     @property
     def effective_frequency_hz(self) -> float:
@@ -184,18 +200,37 @@ class RaplInterface:
             Domain.PKG: RaplDomain(Domain.PKG, node.n_sockets * node.socket.tdp_w),
             Domain.DRAM: RaplDomain(Domain.DRAM, node.p_mem_max_w),
         }
+        # The GPU domain exists only on accelerator-bearing nodes, so
+        # CPU-only interfaces keep exactly the legacy PKG/DRAM pair.
+        self._gpu_ladder: FrequencyLadder | None = None
+        if node.has_gpu:
+            self._domains[Domain.GPU] = RaplDomain(
+                Domain.GPU, node.p_gpu_max_w
+            )
+            self._gpu_ladder = FrequencyLadder.from_gpu(node.gpu)
 
     @property
     def model(self) -> PowerModel:
         """The underlying ground-truth power model."""
         return self._model
 
+    @property
+    def has_gpu_domain(self) -> bool:
+        """Whether this node exposes the GPU power domain."""
+        return Domain.GPU in self._domains
+
     def domain(self, domain: Domain) -> RaplDomain:
-        """Access one domain's registers."""
+        """Access one domain's registers.
+
+        Raises :class:`PowerDomainError` for :attr:`Domain.GPU` on a
+        CPU-only node — the domain does not exist there.
+        """
         try:
             return self._domains[domain]
-        except KeyError:  # pragma: no cover - enum exhausts domains
-            raise PowerDomainError(f"unknown domain {domain!r}") from None
+        except KeyError:
+            raise PowerDomainError(
+                f"node has no {domain.value!r} power domain"
+            ) from None
 
     def set_cap(self, domain: Domain, watts: float | None) -> None:
         """Program a domain power limit (``None`` clears it)."""
@@ -206,7 +241,7 @@ class RaplInterface:
         return {d: reg.cap_w for d, reg in self._domains.items()}
 
     def clear_caps(self) -> None:
-        """Remove both caps."""
+        """Remove every domain cap."""
         for reg in self._domains.values():
             reg.set_cap(None)
 
@@ -350,6 +385,42 @@ class RaplInterface:
             duty_cycle=duty,
         )
 
+    def resolve_gpu(self, strict: bool = False) -> tuple[float, bool, bool]:
+        """Highest device clock whose full-utilization power fits the cap.
+
+        The GPU cap is honoured by stepping the device clock down its
+        ladder, sized against *worst-case* (fully-busy) draw so the
+        clock choice is independent of the workload's actual device
+        utilization — which is what lets the clock be resolved once,
+        outside the host's damped fixed point.
+
+        Returns ``(clock_hz, throttled, cap_violated)``.  When the cap
+        sits below the lowest clock's busy power the device clamps at
+        the ladder floor and the limit may be exceeded (real boards
+        behave the same below their minimum P-state); ``strict`` turns
+        that into :class:`PowerDomainError`.
+        """
+        if self._gpu_ladder is None:
+            raise PowerDomainError("node has no 'gpu' power domain")
+        reg = self._domains[Domain.GPU]
+        cap = reg.effective_cap_w
+        clock = self._gpu_ladder.highest_under(
+            lambda clk: self._model.gpu_power(clk, 1.0) <= cap
+        )
+        violated = False
+        if clock is None:
+            if strict:
+                raise PowerDomainError(
+                    f"GPU cap {cap:.1f} W below the lowest clock's busy "
+                    f"power; cannot honor"
+                )
+            clock = self._gpu_ladder.f_min
+            violated = True
+        throttled = violated or clock < self._gpu_ladder.f_max
+        if throttled:
+            reg.note_throttled()
+        return clock, throttled, violated
+
     # ------------------------------------------------------------------
     # energy accounting
     # ------------------------------------------------------------------
@@ -358,6 +429,9 @@ class RaplInterface:
         """Integrate a steady-state interval into the energy counters."""
         self._domains[Domain.PKG].accumulate(point.pkg_power_w, dt_s)
         self._domains[Domain.DRAM].accumulate(point.dram_power_w, dt_s)
+        gpu = self._domains.get(Domain.GPU)
+        if gpu is not None:
+            gpu.accumulate(point.gpu_power_w, dt_s)
 
     def energy_j(self, domain: Domain) -> float:
         """Unwrapped accumulated energy of *domain* in joules."""

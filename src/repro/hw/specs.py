@@ -24,6 +24,7 @@ __all__ = [
     "CoreSpec",
     "SocketSpec",
     "MemorySpec",
+    "GpuSpec",
     "NodeSpec",
     "NodeGroup",
     "RackSpec",
@@ -33,8 +34,12 @@ __all__ = [
     "broadwell_node",
     "broadwell_testbed",
     "mixed_testbed",
+    "gpu_node",
+    "gpu_testbed",
+    "mixed_gpu_testbed",
     "HASWELL_FREQ_LADDER_GHZ",
     "BROADWELL_FREQ_LADDER_GHZ",
+    "GPU_CLOCK_LADDER_GHZ",
 ]
 
 #: Discrete DVFS ladder of the E5-2670 v3 in GHz.  1.2 GHz is the lowest
@@ -212,6 +217,97 @@ class SocketSpec:
         return self.p_base_w + self.n_cores * core_w
 
 
+#: Discrete clock ladder of the simulated accelerator board in GHz.
+#: 0.6 GHz is the lowest P-state, 1.1 GHz the nominal clock, 1.3 GHz
+#: the boost bin.
+GPU_CLOCK_LADDER_GHZ: tuple[float, ...] = (
+    0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3,
+)
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One accelerator board attached to a node.
+
+    The accelerator is a third RAPL-style power domain: it has its own
+    clock ladder, its own cap, and its own power curve, mirroring the
+    CPU package idiom.
+
+    Attributes
+    ----------
+    clock_ladder_hz:
+        Discrete clocks (Hz) the device firmware may select, ascending.
+    clk_nominal_hz:
+        Reference clock; dynamic power and throughput scale relative
+        to it.
+    p_idle_w:
+        Board power with the device powered but idle.
+    p_dyn_w:
+        Additional board power at the nominal clock under full
+        utilization; scales as ``(clk / clk_nominal) ** dyn_exponent``.
+    dyn_exponent:
+        Exponent of the clock–power relationship.
+    instr_rate:
+        Device throughput (instructions/s) at the nominal clock; the
+        offload performance model scales it linearly with clock.
+    """
+
+    name: str = "gpu"
+    clock_ladder_hz: tuple[float, ...] = tuple(
+        f * GHZ for f in GPU_CLOCK_LADDER_GHZ
+    )
+    clk_nominal_hz: float = ghz(1.1)
+    p_idle_w: float = 18.0
+    p_dyn_w: float = 165.0
+    dyn_exponent: float = 2.0
+    instr_rate: float = 4.0e11
+
+    def __post_init__(self) -> None:
+        if not self.clock_ladder_hz:
+            raise SpecError("gpu clock_ladder_hz must be non-empty")
+        if tuple(sorted(self.clock_ladder_hz)) != self.clock_ladder_hz:
+            raise SpecError("gpu clock_ladder_hz must be sorted ascending")
+        if not (
+            self.clock_ladder_hz[0]
+            <= self.clk_nominal_hz
+            <= self.clock_ladder_hz[-1]
+        ):
+            raise SpecError("gpu nominal clock must lie inside the ladder")
+        if self.p_idle_w < 0 or self.p_dyn_w <= 0:
+            raise SpecError("gpu power coefficients must be valid")
+        if not 1.0 <= self.dyn_exponent <= 3.5:
+            raise SpecError(
+                f"gpu dyn_exponent outside [1, 3.5]: {self.dyn_exponent}"
+            )
+        if self.instr_rate <= 0:
+            raise SpecError("gpu instr_rate must be > 0")
+
+    @property
+    def clk_min_hz(self) -> float:
+        """Lowest selectable device clock."""
+        return self.clock_ladder_hz[0]
+
+    @property
+    def clk_max_hz(self) -> float:
+        """Highest selectable device clock."""
+        return self.clock_ladder_hz[-1]
+
+    def power_at(self, clock_hz: float, utilization: float = 1.0) -> float:
+        """Board power at *clock_hz* and busy-fraction *utilization*."""
+        scale = (clock_hz / self.clk_nominal_hz) ** self.dyn_exponent
+        return self.p_idle_w + self.p_dyn_w * scale * utilization
+
+    @property
+    def p_min_w(self) -> float:
+        """Board power at the lowest clock, fully utilized."""
+        return self.power_at(self.clk_min_hz)
+
+    @property
+    def p_max_w(self) -> float:
+        """Board power at the highest clock, fully utilized."""
+        return self.power_at(self.clk_max_hz)
+
+
 @dataclass(frozen=True)
 class NodeSpec:
     """A compute node: one or more sockets plus non-capped components.
@@ -220,23 +316,41 @@ class NodeSpec:
     :math:`P_{OtherT}` term of Eq. 5.  It is constant and outside RAPL
     control, so schedulers must subtract it from any node budget before
     splitting power between CPU and DRAM.
+
+    Nodes may carry accelerator boards (``gpu`` + ``n_gpus``): those add
+    a third cappable power domain next to PKG and DRAM.  The
+    ``gpu_cap_levels_w`` / ``gpu_level_clock_scale`` views expose the
+    quantized cap↔clock trade-off at the spec level, so decision layers
+    can reason about the device domain without reaching into
+    :class:`GpuSpec` internals.
     """
 
     name: str = "node"
     n_sockets: int = 2
     socket: SocketSpec = field(default_factory=SocketSpec)
     p_other_w: float = 35.0
+    gpu: GpuSpec | None = None
+    n_gpus: int = 0
 
     def __post_init__(self) -> None:
         if self.n_sockets < 1:
             raise SpecError(f"node needs >= 1 socket, got {self.n_sockets}")
         if self.p_other_w < 0:
             raise SpecError("p_other_w must be >= 0")
+        if self.gpu is not None and self.n_gpus < 1:
+            raise SpecError("a GPU-bearing node needs n_gpus >= 1")
+        if self.gpu is None and self.n_gpus != 0:
+            raise SpecError("n_gpus > 0 requires a GpuSpec")
 
     @property
     def n_cores(self) -> int:
         """Total physical cores on the node."""
         return self.n_sockets * self.socket.n_cores
+
+    @property
+    def has_gpu(self) -> bool:
+        """Whether this node class carries accelerator boards."""
+        return self.gpu is not None
 
     @property
     def p_cpu_max_w(self) -> float:
@@ -249,9 +363,68 @@ class NodeSpec:
         return self.n_sockets * self.socket.memory.p_max_w
 
     @property
+    def p_gpu_max_w(self) -> float:
+        """Aggregate device power ceiling across boards (0 without GPUs)."""
+        if self.gpu is None:
+            return 0.0
+        return self.n_gpus * self.gpu.p_max_w
+
+    @property
+    def p_gpu_min_w(self) -> float:
+        """Aggregate device power at the lowest clock, fully utilized."""
+        if self.gpu is None:
+            return 0.0
+        return self.n_gpus * self.gpu.p_min_w
+
+    @property
+    def p_gpu_idle_w(self) -> float:
+        """Aggregate device idle power (0 without GPUs)."""
+        if self.gpu is None:
+            return 0.0
+        return self.n_gpus * self.gpu.p_idle_w
+
+    @property
+    def gpu_cap_levels_w(self) -> tuple[float, ...]:
+        """Full-utilization device power at each clock level, ascending.
+
+        Empty without GPUs.  These are the meaningful GPU cap choices:
+        capping between two levels buys nothing, because the device
+        quantizes to the ladder anyway.
+        """
+        if self.gpu is None:
+            return ()
+        return tuple(
+            self.n_gpus * self.gpu.power_at(clk)
+            for clk in self.gpu.clock_ladder_hz
+        )
+
+    @property
+    def gpu_level_clock_scale(self) -> tuple[float, ...]:
+        """Clock of each level relative to nominal (device speedup)."""
+        if self.gpu is None:
+            return ()
+        return tuple(
+            clk / self.gpu.clk_nominal_hz for clk in self.gpu.clock_ladder_hz
+        )
+
+    @property
+    def gpu_level_clocks_hz(self) -> tuple[float, ...]:
+        """Absolute device clock of each ladder level, ascending."""
+        if self.gpu is None:
+            return ()
+        return tuple(self.gpu.clock_ladder_hz)
+
+    @property
     def p_node_max_w(self) -> float:
-        """Peak node power: CPU + DRAM + uncapped components."""
-        return self.p_cpu_max_w + self.p_mem_max_w + self.p_other_w
+        """Peak node power: CPU + DRAM (+ GPU) + uncapped components."""
+        if self.gpu is None:
+            return self.p_cpu_max_w + self.p_mem_max_w + self.p_other_w
+        return (
+            self.p_cpu_max_w
+            + self.p_mem_max_w
+            + self.p_gpu_max_w
+            + self.p_other_w
+        )
 
     @property
     def peak_bandwidth(self) -> float:
@@ -490,7 +663,8 @@ class ClusterSpec:
         if not self.is_homogeneous:
             raise SpecError(
                 f"cluster {self.name!r} is heterogeneous "
-                f"({len(self.groups)} node groups); use node_specs"
+                f"({len(self.groups)} node groups); use node_specs for the "
+                f"per-slot view or groups for the group population"
             )
         return self.groups[0].spec
 
@@ -691,6 +865,92 @@ def mixed_testbed(
         groups=(
             NodeGroup(haswell_node(), n_haswell),
             NodeGroup(broadwell_node(), n_broadwell),
+        ),
+        variability_sigma=variability_sigma,
+        variability_seed=seed,
+    )
+
+
+def gpu_node(name: str = "haswell-gpu") -> NodeSpec:
+    """A Haswell host carrying one accelerator board.
+
+    Same dual-socket host as :func:`haswell_node`, plus a GPU whose
+    board power is a third cappable domain.  ``p_other_w`` is a little
+    higher than the CPU-only node for the board's fans and VRMs.
+    """
+    return NodeSpec(
+        name=name,
+        n_sockets=2,
+        socket=SocketSpec(),
+        p_other_w=45.0,
+        gpu=GpuSpec(),
+        n_gpus=1,
+    )
+
+
+def gpu_testbed(
+    n_nodes: int = 8,
+    variability_sigma: float = 0.03,
+    seed: int = 2018,
+    racks: int | None = None,
+) -> ClusterSpec:
+    """An 8-node GPU cluster: every node is a Haswell host + one GPU.
+
+    ``racks=N`` (N >= 2) composes N identical GPU racks.
+    """
+    if racks is not None and racks > 1:
+        return ClusterSpec(
+            name="gpu-testbed",
+            racks=_rack_fleet(racks, (NodeGroup(gpu_node(), n_nodes),)),
+            variability_sigma=variability_sigma,
+            variability_seed=seed,
+        )
+    return ClusterSpec(
+        name="gpu-testbed",
+        n_nodes=n_nodes,
+        node=gpu_node(),
+        variability_sigma=variability_sigma,
+        variability_seed=seed,
+    )
+
+
+def mixed_gpu_testbed(
+    n_gpu: int = 4,
+    n_haswell: int = 4,
+    variability_sigma: float = 0.03,
+    seed: int = 2018,
+    racks: int | None = None,
+) -> ClusterSpec:
+    """A mixed fleet: GPU slots first, then CPU-only Haswell slots.
+
+    The partial-accelerator procurement: half the fleet gained boards,
+    half stayed CPU-only, all behind one fabric.  The GPU group comes
+    first deliberately — slot 0 (where profiling samples land) is the
+    accelerated class, so offload behaviour is visible to the profiler;
+    both classes share the Haswell host, so a uniform per-rank thread
+    count is valid on every slot.
+
+    ``racks=N`` (N >= 2) composes N identical mixed racks, each with
+    ``n_gpu`` GPU slots followed by ``n_haswell`` CPU-only slots.
+    """
+    if racks is not None and racks > 1:
+        return ClusterSpec(
+            name="mixed-gpu-testbed",
+            racks=_rack_fleet(
+                racks,
+                (
+                    NodeGroup(gpu_node(), n_gpu),
+                    NodeGroup(haswell_node(), n_haswell),
+                ),
+            ),
+            variability_sigma=variability_sigma,
+            variability_seed=seed,
+        )
+    return ClusterSpec(
+        name="mixed-gpu-testbed",
+        groups=(
+            NodeGroup(gpu_node(), n_gpu),
+            NodeGroup(haswell_node(), n_haswell),
         ),
         variability_sigma=variability_sigma,
         variability_seed=seed,

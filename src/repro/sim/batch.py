@@ -79,6 +79,7 @@ def config_cache_key(config: "ExecutionConfig") -> tuple:
         config.affinity,
         config.pkg_cap_w,
         config.dram_cap_w,
+        config.gpu_cap_w,
         config.per_node_caps,
         config.node_ids,
         config.frequency_hz,
@@ -232,6 +233,53 @@ class BatchEvaluator:
         self._c_p_other = per_class(lambda s: s.p_other_w)
         self._c_S = per_class(lambda s: s.n_sockets)
 
+        # GPU domain tables: one entry per class, python-float level
+        # ladders computed with the exact scalar expressions of
+        # GpuSpec.power_at / PowerModel.gpu_power / device_rate so the
+        # batch feasibility tests and power sums stay bit-identical.
+        self._class_has_gpu = [s.has_gpu for s in class_list]
+        self._c_has_gpu = np.array(self._class_has_gpu, dtype=bool)
+        self._c_gpu_max = per_class(
+            lambda s: s.p_gpu_max_w if s.has_gpu else np.inf
+        )
+        self._c_gpu_pidle = per_class(lambda s: s.p_gpu_idle_w)
+        self._gpu_clk_k: list[np.ndarray] = []
+        self._gpu_full_pow_k: list[np.ndarray] = []
+        self._gpu_dyn_k: list[np.ndarray] = []
+        self._gpu_clk_scale_k: list[np.ndarray] = []
+        self._gpu_idle_board_k: list[float] = []
+        self._gpu_rate_nom_k: list[float] = []
+        self._gpu_n_k: list[int] = []
+        for s in class_list:
+            if not s.has_gpu:
+                self._gpu_clk_k.append(np.empty(0))
+                self._gpu_full_pow_k.append(np.empty(0))
+                self._gpu_dyn_k.append(np.empty(0))
+                self._gpu_clk_scale_k.append(np.empty(0))
+                self._gpu_idle_board_k.append(0.0)
+                self._gpu_rate_nom_k.append(0.0)
+                self._gpu_n_k.append(0)
+                continue
+            g = s.gpu
+            clks = [float(c) for c in g.clock_ladder_hz]
+            # p_dyn * (clk/nom)**exp — the scalar scale product
+            dyn = [
+                g.p_dyn_w * ((c / g.clk_nominal_hz) ** g.dyn_exponent)
+                for c in clks
+            ]
+            # full-utilization board power * board count, the quantity
+            # resolve_gpu compares against the cap (before efficiency)
+            full = [s.n_gpus * (g.p_idle_w + d) for d in dyn]
+            self._gpu_clk_k.append(np.asarray(clks))
+            self._gpu_full_pow_k.append(np.asarray(full))
+            self._gpu_dyn_k.append(np.asarray(dyn))
+            self._gpu_clk_scale_k.append(
+                np.asarray([c / g.clk_nominal_hz for c in clks])
+            )
+            self._gpu_idle_board_k.append(g.p_idle_w)
+            self._gpu_rate_nom_k.append(s.n_gpus * g.instr_rate)
+            self._gpu_n_k.append(s.n_gpus)
+
     # ------------------------------------------------------------------
 
     def run_many(
@@ -299,15 +347,14 @@ class BatchEvaluator:
                     f"{cfg.n_threads} threads requested, node has "
                     f"{min_cores} cores"
                 )
-            for pkg_cap, dram_cap in (
+            for entry in (
                 cfg.per_node_caps
                 if cfg.per_node_caps is not None
-                else [(cfg.pkg_cap_w, cfg.dram_cap_w)]
+                else [(cfg.pkg_cap_w, cfg.dram_cap_w, cfg.gpu_cap_w)]
             ):
-                if pkg_cap is not None:
-                    check_non_negative(pkg_cap, "cap")
-                if dram_cap is not None:
-                    check_non_negative(dram_cap, "cap")
+                for cap in entry:
+                    if cap is not None:
+                        check_non_negative(cap, "cap")
             participants_ids.append(ids)
 
         NN = max(len(ids) for ids in participants_ids)
@@ -353,6 +400,7 @@ class BatchEvaluator:
         # caps -> effective domain limits, like RaplDomain.effective_cap_w
         pkg_cap = self._c_pkg_max[cls].copy()
         dram_cap = self._c_dram_max[cls].copy()
+        gpu_cap = self._c_gpu_max[cls].copy()
         for c, cfg in enumerate(configs):
             for rank in range(len(participants_ids[c])):
                 p, d = cfg.caps_for(rank)
@@ -360,6 +408,42 @@ class BatchEvaluator:
                     pkg_cap[c, rank] = min(p, pkg_cap[c, rank])
                 if d is not None:
                     dram_cap[c, rank] = min(d, dram_cap[c, rank])
+                g = cfg.gpu_cap_for(rank)
+                if g is not None:
+                    gpu_cap[c, rank] = min(g, gpu_cap[c, rank])
+
+        # -- GPU clock resolution (once per cell, outside the loop) ------
+        # Mirrors RaplInterface.resolve_gpu: the clock is sized against
+        # worst-case fully-busy draw, so it depends only on the cap.
+        hasgpu = self._c_has_gpu[cls]  # (C, NN)
+        offload = hasgpu & (app.gpu_fraction > 0)
+        has_offload = bool(offload.any())
+        gpu_level = np.zeros((C, NN), dtype=np.int64)
+        gpu_clock = np.zeros((C, NN))
+        gpu_violated = np.zeros((C, NN), dtype=bool)
+        gpu_throt = np.zeros((C, NN), dtype=bool)
+        gpu_rate = np.zeros((C, NN))
+        if has_offload:
+            for k in range(K):
+                if not self._class_has_gpu[k] or not (cls_eq[k] & offload).any():
+                    continue
+                m = cls_eq[k] & offload
+                full = self._gpu_full_pow_k[k]  # (L,)
+                # feasible <=> full_pow * eff <= cap (the scalar
+                # gpu_power(clk, 1.0) <= cap, multiplied out)
+                feas = full[None, None, :] * eff[:, :, None] <= gpu_cap[:, :, None]
+                cnt = feas.sum(axis=2)
+                lvl = np.maximum(cnt - 1, 0)
+                viol = cnt == 0
+                clks = self._gpu_clk_k[k]
+                clk = clks[lvl]
+                thr = viol | (clk < clks[-1])
+                rate = self._gpu_rate_nom_k[k] * self._gpu_clk_scale_k[k][lvl]
+                gpu_level = np.where(m, lvl, gpu_level)
+                gpu_clock = np.where(m, clk, gpu_clock)
+                gpu_violated = np.where(m, viol, gpu_violated)
+                gpu_throt = np.where(m, thr, gpu_throt)
+                gpu_rate = np.where(m, rate, gpu_rate)
 
         # per-(class, config) placements: every node of one hardware
         # class shares a placement; a mixed run places each class on
@@ -507,6 +591,7 @@ class BatchEvaluator:
             t_iter, activity, per-socket demand, and per-phase times.
             """
             tot_t = np.zeros((C, NN))
+            tot_dev = np.zeros((C, NN))
             busy_weighted = np.zeros((C, NN))
             demand_acc = np.zeros((C, NN, S))
             phase_t = np.empty((C, NN, P))
@@ -518,7 +603,23 @@ class BatchEvaluator:
             peak_u = peak_bw * uncore  # (C, NN)
             for j in range(P):
                 t_serial = serial_instr[:, j, None] / rate1
-                t_comp = par_instr[:, j, None] / (n_phase[:, j, None] * rate1)
+                if has_offload:
+                    # dev_instr = par_instr * gpu_fraction where the
+                    # device runs; (par - 0.0) on host-only cells keeps
+                    # their compute time bit-identical
+                    dev = np.where(
+                        gpu_rate > 0,
+                        par_instr[:, j, None] * app.gpu_fraction,
+                        0.0,
+                    )
+                    t_comp = (par_instr[:, j, None] - dev) / (
+                        n_phase[:, j, None] * rate1
+                    )
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        t_dev = np.where(dev > 0, dev / gpu_rate, 0.0)
+                else:
+                    t_comp = par_instr[:, j, None] / (n_phase[:, j, None] * rate1)
+                    t_dev = None
                 bw = (
                     np.minimum(
                         np.minimum(bw_limit[:, :, None], extract[:, :, j, :]),
@@ -534,6 +635,8 @@ class BatchEvaluator:
                         0.0,
                     )
                 t_par = np.maximum(t_comp, t_mem)
+                if t_dev is not None:
+                    t_par = np.maximum(t_par, t_dev)
                 t_iter = t_serial + t_par + t_sync_phase[:, j, None]
                 t_iter = np.where(
                     odd_phase[:, j, None],
@@ -560,6 +663,10 @@ class BatchEvaluator:
                 t_scaled = t_iter * oversub[:, j, None]
                 phase_t[:, :, j] = t_scaled
                 tot_t = tot_t + t_scaled
+                if t_dev is not None:
+                    # the scalar totals["dev"] accumulates the raw
+                    # per-phase device time (no oversubscription scale)
+                    tot_dev = tot_dev + t_dev
                 busy_weighted = busy_weighted + act * t_scaled
                 demand_acc = demand_acc + dem * t_scaled[:, :, None]
             with np.errstate(divide="ignore", invalid="ignore"):
@@ -569,7 +676,7 @@ class BatchEvaluator:
                     demand_acc / tot_t[:, :, None],
                     demand_acc,
                 )
-            return tot_t, act_out, dem_out, phase_t
+            return tot_t, act_out, dem_out, phase_t, tot_dev
 
         def resolve(act: np.ndarray, dem: np.ndarray):
             """Vectorized RaplInterface.resolve over (C, NN).
@@ -718,14 +825,16 @@ class BatchEvaluator:
         fz_act = np.zeros((C, NN))
         fz_dem = np.zeros((C, NN, S))
         fz_phase = np.zeros((C, NN, P))
+        fz_dev = np.zeros((C, NN))
         for _ in range(_MAX_ROUNDS):
             op = resolve(state_act, state_dem)
-            t_iter, act_t, dem_t, phase_t = timing(op["f_eff"], op["limit"])
+            t_iter, act_t, dem_t, phase_t, dev_t = timing(op["f_eff"], op["limit"])
             upd = ~done
             fz_t = np.where(upd, t_iter, fz_t)
             fz_act = np.where(upd, act_t, fz_act)
             fz_dem = np.where(upd[:, :, None], dem_t, fz_dem)
             fz_phase = np.where(upd[:, :, None], phase_t, fz_phase)
+            fz_dev = np.where(upd, dev_t, fz_dev)
             state_act = np.where(
                 upd, _DAMPING * state_act + (1 - _DAMPING) * act_t, state_act
             )
@@ -774,15 +883,53 @@ class BatchEvaluator:
         avg_pkg = op["pkg_w"] * busy_frac + idle_pkg * (1.0 - busy_frac)
         avg_dram = op["dram_w"] * busy_frac + idle_dram * (1.0 - busy_frac)
         p_other = self._c_p_other[cls]  # (C, NN)
-        node_energy = (avg_pkg + avg_dram + p_other) * total_time[:, None]
+
+        # -- device power, accounted after timing like the scalar path --
+        any_gpu = bool(hasgpu.any())
+        gpu_w_op = np.zeros((C, NN))
+        dev_busy = np.zeros((C, NN))
+        avg_gpu = np.zeros((C, NN))
+        if any_gpu:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                dev_busy = np.where(
+                    fz_t > 0, np.minimum(fz_dev / fz_t, 1.0), 0.0
+                )
+            for k in range(K):
+                if not self._class_has_gpu[k]:
+                    continue
+                # busy boards: idle + dyn(level) * busy-fraction, per
+                # board, times board count and node efficiency — the
+                # exact gpu_power(clock, util) product chain
+                dyn = self._gpu_dyn_k[k][gpu_level]
+                per_board = self._gpu_idle_board_k[k] + dyn * dev_busy
+                w_off = (self._gpu_n_k[k] * per_board) * eff
+                w_idle = self._c_gpu_pidle[k] * eff
+                w = np.where(offload, w_off, w_idle)
+                gpu_w_op = np.where(cls_eq[k], w, gpu_w_op)
+            idle_gpu = self._c_gpu_pidle[cls] * eff
+            avg_gpu = np.where(
+                hasgpu,
+                gpu_w_op * busy_frac + idle_gpu * (1.0 - busy_frac),
+                0.0,
+            )
+            node_energy = np.where(
+                hasgpu,
+                (avg_pkg + avg_dram + avg_gpu + p_other) * total_time[:, None],
+                (avg_pkg + avg_dram + p_other) * total_time[:, None],
+            )
+        else:
+            node_energy = (avg_pkg + avg_dram + p_other) * total_time[:, None]
         # sequential rank-order sums replicate the scalar accumulation
         energy = np.zeros(C)
         peak = np.zeros(C)
         for r in range(NN):
             energy = energy + np.where(mask[:, r], node_energy[:, r], 0.0)
-            peak = peak + np.where(
-                mask[:, r], op["pkg_w"][:, r] + op["dram_w"][:, r], 0.0
-            )
+            rank_peak = op["pkg_w"][:, r] + op["dram_w"][:, r]
+            if any_gpu:
+                rank_peak = np.where(
+                    hasgpu[:, r], rank_peak + gpu_w_op[:, r], rank_peak
+                )
+            peak = peak + np.where(mask[:, r], rank_peak, 0.0)
         # p_other enters peak exactly as the scalar engine adds it:
         # count * value when all participants share one hardware class,
         # otherwise one per-rank addition at a time
@@ -860,6 +1007,10 @@ class BatchEvaluator:
                     cpu_cap_violated=bool(op["cpu_violated"][c, rank]),
                     mem_cap_violated=bool(op["mem_violated"][c, rank]),
                     duty_cycle=float(op["duty"][c, rank]),
+                    gpu_clock_hz=float(gpu_clock[c, rank]),
+                    gpu_power_w=float(gpu_w_op[c, rank]),
+                    gpu_throttled=bool(gpu_throt[c, rank]),
+                    gpu_cap_violated=bool(gpu_violated[c, rank]),
                 )
                 events = EventCounters(
                     event0=float(values[c, rank, 0]),
@@ -886,6 +1037,8 @@ class BatchEvaluator:
                             (phase_names[j], float(fz_phase[c, rank, j]))
                             for j in range(P)
                         ),
+                        avg_gpu_w=float(avg_gpu[c, rank]),
+                        gpu_busy_fraction=float(dev_busy[c, rank]),
                     )
                 )
             results.append(

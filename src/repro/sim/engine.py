@@ -20,7 +20,7 @@ turns into synchronization waste (§III-B.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -52,14 +52,18 @@ class ExecutionConfig:
 
     ``pkg_cap_w`` / ``dram_cap_w`` are *per participating node* and
     cover all sockets of the node (``None`` leaves the factory default
-    limit); ``per_node_caps`` overrides them with one ``(pkg, dram)``
-    pair per node for variability-coordinated allocations (§III-B.2).
-    ``node_ids`` selects specific nodes (defaults to the first
-    ``n_nodes``).  ``phase_threads`` optionally overrides the thread
-    count of named workload phases — the paper's BT-MZ phase-wise
-    concurrency adjustment (§V-B.1).  ``scaling`` chooses strong
-    (divide the global problem over the nodes, the paper's setting) or
-    weak (a reference-size domain per node) execution.
+    limit); ``gpu_cap_w`` additionally limits the device domain on
+    accelerator-bearing nodes (silently ignored elsewhere, matching the
+    hardware: the register does not exist).  ``per_node_caps``
+    overrides them with one ``(pkg, dram)`` — or ``(pkg, dram, gpu)``
+    for GPU slots — tuple per node for variability-coordinated
+    allocations (§III-B.2).  ``node_ids`` selects specific nodes
+    (defaults to the first ``n_nodes``).  ``phase_threads`` optionally
+    overrides the thread count of named workload phases — the paper's
+    BT-MZ phase-wise concurrency adjustment (§V-B.1).  ``scaling``
+    chooses strong (divide the global problem over the nodes, the
+    paper's setting) or weak (a reference-size domain per node)
+    execution.
     """
 
     n_nodes: int
@@ -67,7 +71,8 @@ class ExecutionConfig:
     affinity: AffinityKind | None = None
     pkg_cap_w: float | None = None
     dram_cap_w: float | None = None
-    per_node_caps: tuple[tuple[float, float], ...] | None = None
+    gpu_cap_w: float | None = None
+    per_node_caps: tuple[tuple[float, ...], ...] | None = None
     node_ids: tuple[int, ...] | None = None
     frequency_hz: float | None = None
     iterations: int | None = None
@@ -81,8 +86,13 @@ class ExecutionConfig:
             raise SchedulingError(f"n_threads must be >= 1, got {self.n_threads}")
         if self.iterations is not None and self.iterations < 1:
             raise SchedulingError("iterations override must be >= 1")
-        if self.per_node_caps is not None and len(self.per_node_caps) != self.n_nodes:
-            raise SchedulingError("per_node_caps must have one entry per node")
+        if self.per_node_caps is not None:
+            if len(self.per_node_caps) != self.n_nodes:
+                raise SchedulingError("per_node_caps must have one entry per node")
+            if any(len(entry) not in (2, 3) for entry in self.per_node_caps):
+                raise SchedulingError(
+                    "per_node_caps entries must be (pkg, dram) or (pkg, dram, gpu)"
+                )
         if self.node_ids is not None and len(self.node_ids) != self.n_nodes:
             raise SchedulingError("node_ids must have one entry per node")
         if self.scaling not in ("strong", "weak"):
@@ -93,14 +103,28 @@ class ExecutionConfig:
     def caps_for(self, rank: int) -> tuple[float | None, float | None]:
         """(PKG, DRAM) caps for the rank-th participating node."""
         if self.per_node_caps is not None:
-            return self.per_node_caps[rank]
+            entry = self.per_node_caps[rank]
+            return entry[0], entry[1]
         return self.pkg_cap_w, self.dram_cap_w
+
+    def gpu_cap_for(self, rank: int) -> float | None:
+        """GPU cap for the rank-th node (``None`` = uncapped/absent)."""
+        if self.per_node_caps is not None:
+            entry = self.per_node_caps[rank]
+            return entry[2] if len(entry) > 2 else None
+        return self.gpu_cap_w
 
     @property
     def node_budget_w(self) -> float | None:
-        """Capped (PKG+DRAM) budget per node, when both caps are set."""
+        """Capped domain budget per node, when PKG and DRAM are set.
+
+        Includes the GPU cap when one is programmed; CPU-only configs
+        keep the legacy PKG+DRAM sum.
+        """
         if self.pkg_cap_w is None or self.dram_cap_w is None:
             return None
+        if self.gpu_cap_w is not None:
+            return self.pkg_cap_w + self.dram_cap_w + self.gpu_cap_w
         return self.pkg_cap_w + self.dram_cap_w
 
 
@@ -341,13 +365,36 @@ class ExecutionEngine:
             avg_dram = rec.operating_point.dram_power_w * busy_frac + idle_dram * (
                 1.0 - busy_frac
             )
-            node_energy = (avg_pkg + avg_dram + spec.p_other_w) * total_time
+            if spec.has_gpu:
+                # The board falls back to its idle floor while the host
+                # waits at the step barrier.
+                idle_gpu = spec.p_gpu_idle_w * node.efficiency
+                avg_gpu = rec.operating_point.gpu_power_w * busy_frac + idle_gpu * (
+                    1.0 - busy_frac
+                )
+                node_energy = (
+                    avg_pkg + avg_dram + avg_gpu + spec.p_other_w
+                ) * total_time
+                peak += (
+                    rec.operating_point.pkg_power_w
+                    + rec.operating_point.dram_power_w
+                    + rec.operating_point.gpu_power_w
+                )
+            else:
+                avg_gpu = 0.0
+                node_energy = (avg_pkg + avg_dram + spec.p_other_w) * total_time
+                peak += (
+                    rec.operating_point.pkg_power_w
+                    + rec.operating_point.dram_power_w
+                )
             energy += node_energy
-            peak += rec.operating_point.pkg_power_w + rec.operating_point.dram_power_w
             node.rapl.accumulate(rec.operating_point, iterations * rec.t_iter_s)
             node.meter.record(
                 PowerBreakdown(
-                    pkg_w=avg_pkg, dram_w=avg_dram, other_w=spec.p_other_w
+                    pkg_w=avg_pkg,
+                    dram_w=avg_dram,
+                    other_w=spec.p_other_w,
+                    gpu_w=avg_gpu if spec.has_gpu else None,
                 ),
                 total_time,
             )
@@ -362,6 +409,8 @@ class ExecutionEngine:
                     avg_dram_w=avg_dram,
                     events=rec.events,
                     phase_times=rec.phase_times,
+                    avg_gpu_w=avg_gpu,
+                    gpu_busy_fraction=rec.gpu_busy_fraction,
                 )
             )
         first_spec = participants[0].spec
@@ -406,8 +455,16 @@ class ExecutionEngine:
     ) -> NodeRunRecord:
         """Fixed-point resolve one node's steady state."""
         pkg_cap, dram_cap = config.caps_for(rank)
-        node.set_power_caps(pkg_cap, dram_cap)
+        node.set_power_caps(pkg_cap, dram_cap, config.gpu_cap_for(rank))
         model = self._models[node.spec]
+        # The device clock is sized once, against worst-case (fully
+        # busy) draw, so it is independent of the damped host loop.
+        gpu_rate = 0.0
+        gpu_clock = 0.0
+        gpu_throttled = gpu_violated = False
+        if node.spec.has_gpu and app.gpu_fraction > 0:
+            gpu_clock, gpu_throttled, gpu_violated = node.rapl.resolve_gpu()
+            gpu_rate = model.device_rate(app, gpu_clock)
         mem = node.spec.socket.memory
         tps = placement.threads_per_socket
         activity = 0.9
@@ -429,6 +486,7 @@ class ExecutionEngine:
                 remote_fraction=placement.remote_fraction,
                 work_fraction=work_fraction,
                 phase_threads=phase_tps or None,
+                gpu_rate=gpu_rate,
             )
             activity = _DAMPING * activity + (1 - _DAMPING) * timing.activity
             demand = tuple(
@@ -443,6 +501,23 @@ class ExecutionEngine:
         op = node.rapl.resolve(
             tps, timing.activity, timing.bw_demand_per_socket, config.frequency_hz
         )
+        if node.spec.has_gpu:
+            # Device power over the busy iteration: dynamic draw for the
+            # share of the step the kernels run, idle floor otherwise.
+            # A board with nothing offloaded still idles on the bus.
+            if gpu_rate > 0:
+                gpu_w = node.power_model.gpu_power(
+                    gpu_clock, timing.device_busy_fraction
+                )
+            else:
+                gpu_w = node.spec.p_gpu_idle_w * node.efficiency
+            op = replace(
+                op,
+                gpu_clock_hz=gpu_clock,
+                gpu_power_w=gpu_w,
+                gpu_throttled=gpu_throttled,
+                gpu_cap_violated=gpu_violated,
+            )
         events = synthesize_counters(
             instructions=timing.instructions * iterations,
             duration_s=timing.t_iter_s * iterations,
@@ -463,6 +538,8 @@ class ExecutionEngine:
             avg_dram_w=op.dram_power_w,
             events=events,
             phase_times=timing.phase_times,
+            avg_gpu_w=op.gpu_power_w,
+            gpu_busy_fraction=timing.device_busy_fraction,
         )
 
     def _run_rng(

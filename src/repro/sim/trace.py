@@ -30,11 +30,15 @@ class NodeRunRecord:
     avg_dram_w: float
     events: EventCounters
     phase_times: tuple[tuple[str, float], ...] = ()
+    #: Time-averaged accelerator power (0 on CPU-only nodes).
+    avg_gpu_w: float = 0.0
+    #: Share of the iteration the device spent busy (0 without offload).
+    gpu_busy_fraction: float = 0.0
 
     @property
     def avg_capped_w(self) -> float:
-        """Average RAPL-visible power (PKG + DRAM)."""
-        return self.avg_pkg_w + self.avg_dram_w
+        """Average RAPL-visible power (PKG + DRAM + GPU where present)."""
+        return self.avg_pkg_w + self.avg_dram_w + self.avg_gpu_w
 
 
 @dataclass(frozen=True)

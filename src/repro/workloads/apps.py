@@ -37,7 +37,7 @@ from repro.workloads.characteristics import (
     WorkloadCharacteristics,
 )
 
-__all__ = ["TABLE2_APPS", "EXTRA_APPS", "all_apps", "get_app"]
+__all__ = ["TABLE2_APPS", "EXTRA_APPS", "GPU_APPS", "all_apps", "get_app"]
 
 
 def _app(**kw) -> WorkloadCharacteristics:
@@ -258,11 +258,74 @@ EXTRA_APPS: tuple[WorkloadCharacteristics, ...] = (
     ),
 )
 
-_BY_NAME = {a.name: a for a in TABLE2_APPS + EXTRA_APPS}
+#: Accelerator-offload ports.  Each record describes one code whose
+#: main kernels run on the device when the node carries one
+#: (``gpu_fraction`` of the parallel instructions) and fall back to the
+#: host otherwise — the same record schedules correctly on both node
+#: classes.  Host-side parameters are kept compute-bound so the CPU
+#: fallback emerges linear; on a GPU node the device dominates the
+#: iteration and the profiler sees a large device-busy fraction.
+GPU_APPS: tuple[WorkloadCharacteristics, ...] = (
+    _app(
+        name="lulesh-gpu",
+        description="shock hydrodynamics proxy, CUDA port",
+        problem_size="-s 90",
+        instructions_per_iter=1.8e11,
+        bytes_per_instruction=0.10,
+        serial_fraction=0.003,
+        sync_cost_s=1.5e-4,
+        ipc_fraction=0.55,
+        shared_fraction=0.15,
+        icache_mpki=1.0,
+        comm_pattern=CommPattern.HALO,
+        comm_bytes_per_iter=1.0e7,
+        gpu_fraction=0.88,
+        iterations=150,
+    ),
+    _app(
+        name="minife-gpu",
+        description="implicit finite-element solver, device CG kernels",
+        problem_size="-nx 200",
+        instructions_per_iter=1.1e11,
+        bytes_per_instruction=0.35,
+        serial_fraction=0.004,
+        sync_cost_s=2.5e-4,
+        ipc_fraction=0.5,
+        shared_fraction=0.25,
+        icache_mpki=1.2,
+        comm_pattern=CommPattern.ALLREDUCE,
+        comm_bytes_per_iter=4.0e6,
+        gpu_fraction=0.72,
+        iterations=200,
+    ),
+    _app(
+        name="hpgmg-gpu",
+        description="geometric multigrid with offloaded smoothers",
+        problem_size="7 8",
+        instructions_per_iter=1.4e11,
+        bytes_per_instruction=0.25,
+        serial_fraction=0.005,
+        sync_cost_s=3.0e-4,
+        ipc_fraction=0.52,
+        shared_fraction=0.2,
+        icache_mpki=1.5,
+        comm_pattern=CommPattern.HALO,
+        comm_bytes_per_iter=8.0e6,
+        gpu_fraction=0.8,
+        iterations=120,
+    ),
+)
+
+_BY_NAME = {a.name: a for a in TABLE2_APPS + EXTRA_APPS + GPU_APPS}
 
 
 def all_apps() -> tuple[WorkloadCharacteristics, ...]:
-    """Every predefined application (Table II first, extras after)."""
+    """Every predefined application (Table II first, extras after).
+
+    GPU-offload ports are *not* included: they are host-fallback
+    duplicates of covered behaviour on CPU testbeds and live in
+    :data:`GPU_APPS` for the accelerator suites.
+    """
     return TABLE2_APPS + EXTRA_APPS
 
 

@@ -103,6 +103,11 @@ class WorkloadCharacteristics:
     comm_pattern / comm_bytes_per_iter / comm_msgs_per_iter:
         Cluster-level communication shape; ``comm_bytes_per_iter`` is
         the per-node halo volume at the 1-node reference decomposition.
+    gpu_fraction:
+        Fraction of the parallel per-iteration instructions offloaded
+        to an accelerator *when one is present*.  On CPU-only nodes the
+        same code runs its host fallback path (fraction treated as 0),
+        so one record describes the application on both node classes.
     iterations:
         Outer iterations of a full production run.
     problem_size:
@@ -123,6 +128,7 @@ class WorkloadCharacteristics:
     comm_pattern: CommPattern = CommPattern.HALO
     comm_bytes_per_iter: float = 0.0
     comm_msgs_per_iter: int = 6
+    gpu_fraction: float = 0.0
     iterations: int = 200
     problem_size: str = "default"
     description: str = ""
@@ -144,6 +150,11 @@ class WorkloadCharacteristics:
         check_non_negative(self.comm_bytes_per_iter, "comm_bytes_per_iter")
         if self.comm_msgs_per_iter < 0:
             raise WorkloadError("comm_msgs_per_iter must be >= 0")
+        check_fraction(self.gpu_fraction, "gpu_fraction")
+        if self.gpu_fraction >= 1.0:
+            raise WorkloadError(
+                "gpu_fraction must be < 1: some host share always remains"
+            )
         if self.iterations < 1:
             raise WorkloadError("iterations must be >= 1")
         if self.phases:

@@ -84,11 +84,22 @@ class NodePhaseTiming:
     bw_demand_per_socket: tuple[float, ...]
     remote_fraction: float
     phase_times: tuple[tuple[str, float], ...] = ()
+    #: Device busy seconds inside the iteration (0 without offload).
+    device_s: float = 0.0
 
     @property
     def bound(self) -> str:
         """Which roofline side limits the parallel section."""
+        if self.device_s > max(self.compute_s, self.memory_s):
+            return "device"
         return "memory" if self.memory_s > self.compute_s else "compute"
+
+    @property
+    def device_busy_fraction(self) -> float:
+        """Share of the iteration the device spends busy."""
+        if self.t_iter_s <= 0:
+            return 0.0
+        return min(self.device_s / self.t_iter_s, 1.0)
 
 
 class GroundTruthModel:
@@ -107,6 +118,24 @@ class GroundTruthModel:
     def _core_rate(self, chars: WorkloadCharacteristics, f: float) -> float:
         """Instruction throughput of one core (instr/s) at frequency f."""
         return chars.ipc_fraction * self._node.socket.core.ipc_peak * f
+
+    def device_rate(
+        self, chars: WorkloadCharacteristics, gpu_clock_hz: float
+    ) -> float:
+        """Aggregate device throughput (instr/s) at *gpu_clock_hz*.
+
+        Zero when the node has no accelerator or the workload offloads
+        nothing — the signal :meth:`phase_time` uses to fall back to
+        the host-only path bit-identically.
+        """
+        gpu = self._node.gpu
+        if gpu is None or chars.gpu_fraction <= 0 or gpu_clock_hz <= 0:
+            return 0.0
+        return (
+            self._node.n_gpus
+            * gpu.instr_rate
+            * (gpu_clock_hz / gpu.clk_nominal_hz)
+        )
 
     def _effective_bandwidth(
         self,
@@ -145,6 +174,7 @@ class GroundTruthModel:
         bw_limit_per_socket,
         remote_fraction: float = 0.0,
         work_fraction: float = 1.0,
+        gpu_rate: float = 0.0,
     ) -> NodePhaseTiming:
         """Time one iteration of a (single-phase) workload on this node.
 
@@ -164,6 +194,17 @@ class GroundTruthModel:
         work_fraction:
             Share of the *global* problem this node executes (1/N for
             an N-node balanced decomposition).
+        gpu_rate:
+            Aggregate device throughput (instr/s) at the resolved
+            device clock; 0 disables offload (CPU-only node, capless
+            host fallback, or a workload with ``gpu_fraction == 0``).
+            Offloaded kernels overlap the host's parallel section:
+            the device executes ``gpu_fraction`` of the parallel
+            instructions while the host runs the remainder, so the
+            parallel time is the roofline max over host compute, DRAM,
+            and device time.  DRAM traffic stays with the host — the
+            transfer stream to and from the board rides the same
+            controllers.
         """
         tps = np.asarray(threads_per_socket, dtype=np.int64)
         if tps.ndim != 1 or len(tps) != self._node.n_sockets:
@@ -189,7 +230,9 @@ class GroundTruthModel:
         rate1 = self._core_rate(chars, frequency_hz)
 
         t_serial = serial_instr / rate1
-        t_comp = par_instr / (n * rate1)
+        dev_instr = par_instr * chars.gpu_fraction if gpu_rate > 0 else 0.0
+        t_comp = (par_instr - dev_instr) / (n * rate1)
+        t_dev = dev_instr / gpu_rate if dev_instr > 0 else 0.0
 
         dram_bytes = instr * chars.bytes_per_instruction
         bw = self._effective_bandwidth(
@@ -199,7 +242,7 @@ class GroundTruthModel:
         t_mem = dram_bytes / total_bw if dram_bytes > 0 else 0.0
 
         t_sync = chars.sync_cost_s * max(n - 1, 0)
-        t_par = max(t_comp, t_mem)
+        t_par = max(t_comp, t_mem, t_dev)
         t_iter = t_serial + t_par + t_sync
         if n % 2 == 1 and n > 1:
             t_iter *= 1.0 + ODD_CONCURRENCY_PENALTY
@@ -229,6 +272,7 @@ class GroundTruthModel:
             dram_bytes=dram_bytes,
             bw_demand_per_socket=demand,
             remote_fraction=remote_fraction,
+            device_s=t_dev,
         )
 
     def iteration_time(
@@ -240,6 +284,7 @@ class GroundTruthModel:
         remote_fraction: float = 0.0,
         work_fraction: float = 1.0,
         phase_threads: dict[str, tuple[int, ...]] | None = None,
+        gpu_rate: float = 0.0,
     ) -> NodePhaseTiming:
         """Time one full iteration, summing over the app's phases.
 
@@ -251,7 +296,7 @@ class GroundTruthModel:
         """
         totals = dict(
             t=0.0, serial=0.0, comp=0.0, mem=0.0, sync=0.0,
-            instr=0.0, bytes_=0.0,
+            instr=0.0, bytes_=0.0, dev=0.0,
         )
         busy_weighted = 0.0
         n_sockets = self._node.n_sockets
@@ -274,6 +319,7 @@ class GroundTruthModel:
             pt = self.phase_time(
                 view, tps, frequency_hz, bw_limit_per_socket,
                 remote_fraction=remote_fraction, work_fraction=work_fraction,
+                gpu_rate=gpu_rate,
             )
             if oversub != 1.0:
                 pt = replace(pt, t_iter_s=pt.t_iter_s * oversub)
@@ -285,6 +331,7 @@ class GroundTruthModel:
             totals["sync"] += pt.sync_s
             totals["instr"] += pt.instructions
             totals["bytes_"] += pt.dram_bytes
+            totals["dev"] += pt.device_s
             busy_weighted += pt.activity * pt.t_iter_s
             demand += np.asarray(pt.bw_demand_per_socket) * pt.t_iter_s
         t = totals["t"]
@@ -300,6 +347,7 @@ class GroundTruthModel:
             bw_demand_per_socket=tuple(demand / t if t > 0 else demand),
             remote_fraction=remote_fraction,
             phase_times=tuple(phase_breakdown),
+            device_s=totals["dev"],
         )
 
 

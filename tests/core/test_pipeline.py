@@ -260,6 +260,45 @@ class TestHeterogeneityLayering:
         assert len(files) >= 10, "layering scan found suspiciously few modules"
 
 
+class TestGpuLayering:
+    """``hw/`` GPU internals stay out of the decision stack.
+
+    ``core/`` and ``baselines/`` may consume the accelerator domain
+    only through spec-level views (``p_gpu_max_w``,
+    ``gpu_cap_levels_w``, ``gpu_level_clocks_hz``, ``has_gpu``, …) —
+    never ``GpuSpec`` itself, the RAPL ``Domain.GPU`` enum, or a bare
+    ``.gpu`` attribute walk.  The underscore keeps ``.gpu_*`` view
+    accessors from matching (``_`` is a word character), exactly like
+    the ``node_specs`` carve-out above.
+    """
+
+    FORBIDDEN = re.compile(r"\bGpuSpec\b|\bDomain\.GPU\b|\.gpu\b")
+
+    def _layer_files(self):
+        src = Path(__file__).parent.parent.parent / "src" / "repro"
+        for layer in ("core", "baselines"):
+            yield from sorted((src / layer).glob("*.py"))
+
+    def test_no_gpu_internals_in_decision_stack(self):
+        offenders = {
+            path.name: self.FORBIDDEN.findall(path.read_text())
+            for path in self._layer_files()
+            if self.FORBIDDEN.search(path.read_text())
+        }
+        assert not offenders, (
+            f"decision-stack modules reach into hw/ GPU internals: {offenders}"
+        )
+
+    def test_scan_catches_the_forbidden_forms(self):
+        # the regex itself is load-bearing; prove it matches the three
+        # access forms and passes the allowed spec-level views
+        assert self.FORBIDDEN.search("spec.gpu.p_idle_w")
+        assert self.FORBIDDEN.search("GpuSpec()")
+        assert self.FORBIDDEN.search("Domain.GPU")
+        assert not self.FORBIDDEN.search("node.gpu_cap_levels_w")
+        assert not self.FORBIDDEN.search("self._power.gpu_power_range()")
+
+
 class TestPipelineDirect:
     def test_pipeline_standalone(self, engine, trained_inflection):
         """The pipeline works without the ClipScheduler facade."""

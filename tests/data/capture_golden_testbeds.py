@@ -1,0 +1,59 @@
+"""Regenerate ``golden_decisions_testbeds.json``.
+
+Captures CLIP's full serialized decisions on the three CPU testbeds so
+refactors of the power-domain substrate can prove CPU-only decisions
+stay bit-identical.  Run from the repo root:
+
+    PYTHONPATH=src python tests/data/capture_golden_testbeds.py
+
+Re-run (and review the diff consciously) only when a deliberate
+behaviour change moves the decisions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.experiments import build_trained_inflection
+from repro.core.scheduler import ClipScheduler
+from repro.errors import ClipError
+from repro.hw.cluster import SimulatedCluster
+from repro.hw.specs import broadwell_testbed, haswell_testbed, mixed_testbed
+from repro.sim.engine import ExecutionEngine
+from repro.workloads.apps import get_app
+
+TESTBEDS = {
+    "haswell": haswell_testbed,
+    "broadwell": broadwell_testbed,
+    "mixed": mixed_testbed,
+}
+APPS = ("comd", "sp-mz.C", "stream", "bt-mz.C", "tealeaf")
+BUDGETS = (1000.0, 1400.0, 1800.0)
+
+
+def capture() -> dict:
+    payload: dict = {"apps": list(APPS), "budgets": list(BUDGETS), "testbeds": {}}
+    for name, factory in TESTBEDS.items():
+        engine = ExecutionEngine(SimulatedCluster(factory()), seed=42)
+        clip = ClipScheduler(
+            engine, inflection=build_trained_inflection(engine)
+        )
+        decisions: dict = {}
+        for app_name in APPS:
+            for budget in BUDGETS:
+                key = f"{app_name}@{budget:.0f}"
+                try:
+                    d = clip.schedule(get_app(app_name), budget)
+                except ClipError as exc:
+                    decisions[key] = {"error": type(exc).__name__}
+                    continue
+                decisions[key] = d.to_dict()
+        payload["testbeds"][name] = decisions
+    return payload
+
+
+if __name__ == "__main__":
+    out = Path(__file__).parent / "golden_decisions_testbeds.json"
+    out.write_text(json.dumps(capture(), indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}")

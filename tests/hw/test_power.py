@@ -176,3 +176,45 @@ class TestInverseModel:
     def test_rejects_nonpositive_efficiency(self):
         with pytest.raises(SpecError):
             PowerModel(NODE, efficiency=0.0)
+
+
+class TestPowerBreakdownDomains:
+    """Table-driven domain accounting on the per-node breakdown."""
+
+    _w = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+
+    @given(pkg=_w, dram=_w, other=_w, gpu=st.one_of(st.none(), _w))
+    def test_total_is_sum_of_present_domains(self, pkg, dram, other, gpu):
+        from repro.hw.power import PowerBreakdown
+
+        bd = PowerBreakdown(pkg_w=pkg, dram_w=dram, other_w=other, gpu_w=gpu)
+        present = dict(bd.present_domains())
+        assert bd.capped_w == pytest.approx(sum(present.values()))
+        assert bd.total_w == pytest.approx(sum(present.values()) + other)
+        if gpu is None:
+            assert "gpu_w" not in present  # absent, not zero
+        else:
+            assert present["gpu_w"] == gpu
+
+    @given(pkg=_w, dram=_w, other=_w, gpu=st.one_of(st.none(), _w),
+           factor=st.floats(min_value=0.0, max_value=3.0))
+    def test_scaled_preserves_domain_absence(self, pkg, dram, other, gpu, factor):
+        from repro.hw.power import PowerBreakdown
+
+        bd = PowerBreakdown(pkg_w=pkg, dram_w=dram, other_w=other, gpu_w=gpu)
+        scaled = bd.scaled(factor)
+        assert (scaled.gpu_w is None) == (gpu is None)
+        assert scaled.other_w == other  # uncapped share never scales
+        assert scaled.pkg_w == pytest.approx(pkg * factor)
+        if gpu is not None:
+            assert scaled.gpu_w == pytest.approx(gpu * factor)
+
+    def test_capped_domain_table_covers_every_capped_field(self):
+        from dataclasses import fields
+
+        from repro.hw.power import PowerBreakdown
+
+        names = {f.name for f in fields(PowerBreakdown)}
+        table = set(PowerBreakdown.CAPPED_DOMAIN_FIELDS)
+        assert table <= names
+        assert names - table == {"other_w"}

@@ -262,3 +262,87 @@ class TestRackSpecs:
 
         with pytest.raises(SpecError):
             RackSpec("r0", ())
+
+
+class TestGpuSpecs:
+    """The accelerator domain at the spec layer."""
+
+    def test_node_accessor_error_names_the_replacements(self):
+        # the legacy single-class accessor must tell callers where to
+        # go on a multi-group fleet (regression: the old message only
+        # said "heterogeneous")
+        from repro.hw.specs import mixed_gpu_testbed
+
+        for spec in (mixed_testbed(), mixed_gpu_testbed()):
+            with pytest.raises(SpecError, match="node_specs") as exc:
+                spec.node
+            assert "groups" in str(exc.value)
+
+    def test_gpu_ladder_monotone(self):
+        from repro.hw.specs import GpuSpec
+
+        gpu = GpuSpec()
+        assert gpu.clock_ladder_hz == tuple(sorted(gpu.clock_ladder_hz))
+        assert gpu.clk_min_hz <= gpu.clk_nominal_hz <= gpu.clk_max_hz
+        assert gpu.power_at(gpu.clk_min_hz) == gpu.p_min_w
+        assert gpu.power_at(gpu.clk_max_hz) == gpu.p_max_w
+
+    def test_node_level_views_align_with_ladder(self):
+        from repro.hw.specs import gpu_node
+
+        node = gpu_node()
+        levels = node.gpu_cap_levels_w
+        clocks = node.gpu_level_clocks_hz
+        scales = node.gpu_level_clock_scale
+        assert len(levels) == len(clocks) == len(scales)
+        assert list(levels) == sorted(levels)
+        assert list(clocks) == sorted(clocks)
+        # the idle draw sits strictly under the lowest active level
+        assert node.p_gpu_idle_w < node.p_gpu_min_w < node.p_gpu_max_w
+
+    def test_cpu_node_reports_absent_not_zero_ladder(self):
+        node = haswell_node()
+        assert not node.has_gpu
+        assert node.gpu_cap_levels_w == ()
+        assert node.gpu_level_clocks_hz == ()
+        assert node.p_gpu_max_w == 0.0
+
+    def test_gpu_requires_count_and_count_requires_gpu(self):
+        from repro.hw.specs import GpuSpec, gpu_node
+
+        base = gpu_node()
+        with pytest.raises(SpecError):
+            NodeSpec(name="x", socket=SocketSpec(), gpu=GpuSpec(), n_gpus=0)
+        with pytest.raises(SpecError):
+            NodeSpec(name="x", socket=SocketSpec(), n_gpus=1)
+        assert base.p_node_max_w > haswell_node().p_node_max_w
+
+    def test_gpu_testbed_shape(self):
+        from repro.hw.specs import gpu_testbed
+
+        spec = gpu_testbed()
+        assert spec.n_nodes == 8
+        assert spec.is_homogeneous
+        assert all(s.has_gpu for s in spec.node_specs)
+
+    def test_mixed_gpu_testbed_puts_the_gpu_class_first(self):
+        # profiling samples land on slot 0, which must be the
+        # accelerated class for offload behaviour to be observable
+        from repro.hw.specs import mixed_gpu_testbed
+
+        spec = mixed_gpu_testbed()
+        assert spec.n_nodes == 8
+        assert not spec.is_homogeneous
+        flags = [s.has_gpu for s in spec.node_specs]
+        assert flags == [True] * 4 + [False] * 4
+        # both classes share the Haswell host, so one thread count
+        # is valid fleet-wide
+        assert len({s.n_cores for s in spec.node_specs}) == 1
+
+    def test_gpu_rack_fleet(self):
+        from repro.hw.specs import mixed_gpu_testbed
+
+        spec = mixed_gpu_testbed(racks=2)
+        assert spec.n_racks == 2
+        flags = [s.has_gpu for s in spec.node_specs]
+        assert flags == ([True] * 4 + [False] * 4) * 2

@@ -353,3 +353,126 @@ class TestRunCache:
         b = evaluator.run_many(app, [cfg])[0]
         assert a is not b  # recomputed, not memoized
         assert_identical(a, b)
+
+
+#: GPU-fleet configs: uncapped offload, a device throttle, three-entry
+#: per-node caps, a host-only app paying idle board power, and a pinned
+#: frequency alongside an active device.
+GPU_CASES = [
+    ("lulesh-gpu", ExecutionConfig(n_nodes=4, n_threads=12, iterations=2)),
+    (
+        "minife-gpu",  # uniform device throttle (low ladder level)
+        ExecutionConfig(n_nodes=2, n_threads=12, gpu_cap_w=60.0, iterations=2),
+    ),
+    (
+        "hpgmg-gpu",  # heterogeneous three-domain caps + node choice
+        ExecutionConfig(
+            n_nodes=2,
+            n_threads=12,
+            per_node_caps=((110.0, 32.0, 120.0), (95.0, 28.0, 75.0)),
+            node_ids=(5, 2),
+            iterations=2,
+        ),
+    ),
+    (
+        "comd",  # host-only app on GPU nodes: idle board draw path
+        ExecutionConfig(n_nodes=2, n_threads=8, iterations=2),
+    ),
+    (
+        "lulesh-gpu",  # pinned host frequency with an active device
+        ExecutionConfig(
+            n_nodes=2, n_threads=6, frequency_hz=1.9e9, iterations=2
+        ),
+    ),
+]
+
+#: Mixed CPU+GPU fleet (slots 0-3 GPU, 4-7 CPU-only): cross-class
+#: spans and mixed-arity per-node caps in one batch.
+MIXED_GPU_CASES = [
+    ("lulesh-gpu", ExecutionConfig(n_nodes=8, n_threads=12, iterations=2)),
+    (
+        "minife-gpu",  # cross-class span, interleaved slot order
+        ExecutionConfig(
+            n_nodes=4, n_threads=8, node_ids=(1, 5, 2, 6), iterations=2
+        ),
+    ),
+    (
+        "stream",  # CPU-only span of the mixed fleet
+        ExecutionConfig(
+            n_nodes=3, n_threads=16, node_ids=(4, 6, 7), iterations=2
+        ),
+    ),
+    (
+        "hpgmg-gpu",  # 3-entry caps on GPU slots, 2-entry on CPU slots
+        ExecutionConfig(
+            n_nodes=4,
+            n_threads=12,
+            per_node_caps=(
+                (110.0, 32.0, 120.0),
+                (95.0, 28.0, 80.0),
+                (120.0, 35.0),
+                (100.0, 30.0),
+            ),
+            node_ids=(0, 1, 4, 5),
+            iterations=2,
+        ),
+    ),
+]
+
+
+class TestGpuEquivalence:
+    """Bit-exact batch/scalar agreement on accelerator fleets."""
+
+    @pytest.fixture(scope="class")
+    def gpu_engine(self):
+        from repro.hw.specs import gpu_testbed
+
+        return ExecutionEngine(SimulatedCluster(gpu_testbed()), seed=42)
+
+    @pytest.fixture(scope="class")
+    def mixed_gpu_engine(self):
+        from repro.hw.specs import mixed_gpu_testbed
+
+        return ExecutionEngine(SimulatedCluster(mixed_gpu_testbed()), seed=42)
+
+    @pytest.mark.parametrize(
+        "app_name,config",
+        GPU_CASES,
+        ids=[f"{a}-{i}" for i, (a, _) in enumerate(GPU_CASES)],
+    )
+    def test_batch_matches_scalar_on_gpu_fleet(
+        self, gpu_engine, app_name, config
+    ):
+        app = get_app(app_name)
+        scalar = gpu_engine.run(app, config)
+        (batch,) = gpu_engine.evaluate_many(app, [config])
+        assert_identical(batch, scalar)
+
+    @pytest.mark.parametrize(
+        "app_name,config",
+        MIXED_GPU_CASES,
+        ids=[f"{a}-{i}" for i, (a, _) in enumerate(MIXED_GPU_CASES)],
+    )
+    def test_batch_matches_scalar_on_mixed_gpu_fleet(
+        self, mixed_gpu_engine, app_name, config
+    ):
+        app = get_app(app_name)
+        scalar = mixed_gpu_engine.run(app, config)
+        (batch,) = mixed_gpu_engine.evaluate_many(app, [config])
+        assert_identical(batch, scalar)
+
+    def test_full_gpu_candidate_set_in_one_call(self, gpu_engine):
+        app = get_app("lulesh-gpu")
+        configs = [cfg for _, cfg in GPU_CASES if cfg.per_node_caps is None]
+        batch = gpu_engine.evaluate_many(app, configs)
+        for cfg, b in zip(configs, batch):
+            assert_identical(b, gpu_engine.run(app, cfg))
+
+    def test_gpu_energy_accounted(self, gpu_engine):
+        """Offloaded runs draw measurably more than the idle board."""
+        cfg = ExecutionConfig(n_nodes=2, n_threads=12, iterations=2)
+        busy = gpu_engine.run(get_app("lulesh-gpu"), cfg)
+        idle = gpu_engine.run(get_app("comd"), cfg)
+        assert busy.nodes[0].avg_gpu_w > idle.nodes[0].avg_gpu_w
+        assert busy.nodes[0].gpu_busy_fraction > 0.3
+        assert idle.nodes[0].gpu_busy_fraction == 0.0
