@@ -1,0 +1,60 @@
+"""Build gate for the self-healing enforcement stack.
+
+Runs the resilience benchmark (watchdog overhead, breach-to-correction
+latency, chaos audit sweep), records ``BENCH_resilience.json`` at the
+repository root, and **fails the build** when:
+
+* the journal + watchdog stack costs more than 10% on the warm
+  no-fault path (self-healing must be cheap when nothing is wrong);
+* a drift breach takes more than 6 segments to correct (the ladder
+  must converge, not oscillate);
+* any cap set issued during the chaos sweep — including the watchdog's
+  own corrections — violates the budget invariant.
+"""
+
+from bench_resilience import run_resilience_bench
+
+#: Warm-path budget for the whole resilience stack.
+MAX_OVERHEAD_FRAC = 0.10
+
+#: A breach episode must close within this many segments.
+MAX_BREACH_SEGMENTS = 6
+
+
+def test_resilience_gates(report):
+    payload = run_resilience_bench()
+    overhead = payload["overhead"]
+    latency = payload["correction_latency"]
+    chaos = payload["chaos"]
+
+    lines = [
+        "Self-healing enforcement — overhead, latency, chaos audit",
+        f"  warm path: bare {overhead['bare_s'] * 1e3:.1f} ms, "
+        f"journal+watchdog {overhead['guarded_s'] * 1e3:.1f} ms "
+        f"({overhead['overhead_frac']:+.1%})",
+        f"  drift correction: {latency['breaches']} breach(es), "
+        f"max episode {latency['max_breach_segments']} segment(s), "
+        f"actions {latency['actions']}",
+    ]
+    for name, s in chaos.items():
+        lines.append(
+            f"  chaos {name:18s}: {s['events_fired']} events, "
+            f"{s['breaches']} breach(es), "
+            f"{s['n_violations']} violation(s) / {s['n_audits']} audits"
+        )
+    report("perf_resilience", "\n".join(lines))
+
+    # gate 1: the resilience stack is near-free when nothing is wrong
+    assert overhead["overhead_frac"] <= MAX_OVERHEAD_FRAC, overhead
+
+    # gate 2: the escalation ladder converges quickly
+    assert latency["breaches"] >= 1, latency  # the scenario really breached
+    assert latency["max_breach_segments"] <= MAX_BREACH_SEGMENTS, latency
+
+    # gate 3: zero invariant violations across every chaos scenario
+    for name, s in chaos.items():
+        assert s["completed"], name
+        assert s["events_fired"] >= 1, name
+        assert s["n_audits"] > 0, name
+        assert s["n_violations"] == 0, (name, s)
+    assert payload["total_violations"] == 0

@@ -12,7 +12,13 @@ Subcommands mirror the framework's helper tools (§IV-B):
 * ``compare``   — the four-method comparison at one budget;
 * ``faults``    — drain a queue through a scripted fault scenario
   (node failure + recovery + budget swings) and print the
-  budget-invariant audit.
+  budget-invariant audit; ``--chaos`` adds enforcement faults
+  (drifting caps, dropped writes, lying sensors) and drains behind an
+  :class:`~repro.core.watchdog.EnforcementGuard`;
+* ``replay``    — rebuild a runtime from its journal and print the
+  recovered state; ``--demo`` runs the full crash-recovery story
+  (journaled run, scripted crash, restore, bit-identity check,
+  resume).
 
 Commands default to the simulated 8-node Haswell testbed; the
 ``schedule``, ``run``, ``compare`` and ``faults`` subcommands accept
@@ -140,9 +146,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="iterations per job (default 5, keeps the demo fast)",
     )
     p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="also inject enforcement faults (cap drift, dropped cap "
+        "writes, noisy and stale sensors) and drain behind an "
+        "EnforcementGuard",
+    )
+    p.add_argument(
         "--json",
         action="store_true",
         help="emit the queue report and monitor audit as JSON",
+    )
+
+    p = sub.add_parser(
+        "replay",
+        help="rebuild a runtime from its journal and print the state",
+    )
+    add_testbed(p)
+    p.add_argument(
+        "journal",
+        nargs="?",
+        default=None,
+        help="journal file written by a PowerBoundedRuntime "
+        "(omit with --demo)",
+    )
+    p.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the crash-recovery demo: journal a run, crash it "
+        "mid-flight, restore, verify bit-identity, resume",
+    )
+    p.add_argument(
+        "--budget", type=float, default=1200.0,
+        help="cluster budget for the --demo run (W, default 1200)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the recovered state as JSON",
     )
 
     p = sub.add_parser(
@@ -309,8 +350,44 @@ def demo_fault_events(makespan_s: float, budget_w: float):
     ]
 
 
+def demo_chaos_events(makespan_s: float):
+    """Enforcement faults layered on top of :func:`demo_fault_events`.
+
+    Caps start silently drifting at t=0, cap writes begin dropping a
+    quarter of the way in, and the sensors turn noisy then stale — the
+    full lying-hardware gauntlet for the enforcement guard.
+    """
+    from repro.sim.faults import FaultEvent
+
+    return [
+        FaultEvent(at_s=0.0, action="cap_drift", factor=0.15, seed=11),
+        FaultEvent(
+            at_s=0.25 * makespan_s, action="cap_write_fail",
+            factor=0.3, seed=12,
+        ),
+        FaultEvent(
+            at_s=0.40 * makespan_s, action="sensor_noise",
+            factor=0.05, seed=13,
+        ),
+        FaultEvent(
+            at_s=0.60 * makespan_s, action="sensor_stale",
+            factor=3, seed=14,
+        ),
+    ]
+
+
+def _actuation_totals(cluster) -> dict:
+    """Sum every node's RAPL actuation counters."""
+    totals: dict = {}
+    for node_id in range(cluster.n_nodes):
+        for key, value in cluster.node(node_id).rapl.actuation_stats.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
 def cmd_faults(args) -> int:
     from repro.core.jobqueue import PowerBoundedJobQueue
+    from repro.core.watchdog import EnforcementGuard
     from repro.sim.faults import FaultInjector
 
     engine = _engine(args.seed, args.testbed, args.racks)
@@ -328,6 +405,13 @@ def cmd_faults(args) -> int:
         apps, args.budget, policy=args.policy, iterations=args.iterations
     )
     events = demo_fault_events(clean.makespan_s, args.budget)
+    guard = None
+    if args.chaos:
+        events = sorted(
+            events + demo_chaos_events(clean.makespan_s),
+            key=lambda e: e.at_s,
+        )
+        guard = EnforcementGuard()
     injector = FaultInjector(engine.cluster, events, budget_w=args.budget)
     clip.monitor.reset()
     report = queue.drain(
@@ -336,6 +420,7 @@ def cmd_faults(args) -> int:
         policy=args.policy,
         iterations=args.iterations,
         faults=injector,
+        guard=guard,
     )
     audit = clip.monitor.report()
 
@@ -358,6 +443,9 @@ def cmd_faults(args) -> int:
             "clean_makespan_s": clean.makespan_s,
             "monitor": audit,
         }
+        if guard is not None:
+            payload["guard"] = guard.report()
+            payload["actuation"] = _actuation_totals(engine.cluster)
         print(json.dumps(payload, indent=2))
     else:
         print("Fault timeline:")
@@ -390,7 +478,156 @@ def cmd_faults(args) -> int:
             f"{audit['n_audits']} cap sets "
             f"({', '.join(f'{k}: {v}' for k, v in sorted(audit['audits_by_source'].items()))})"
         )
+        if guard is not None:
+            g = guard.report()
+            act = _actuation_totals(engine.cluster)
+            print(
+                f"enforcement guard: {g['breaches']} breach(es) across "
+                f"{g['checks']} checks, final derate {g['derate']:.3f}"
+            )
+            print(
+                f"actuation: {act.get('writes', 0)} writes "
+                f"({act.get('dropped', 0)} dropped, "
+                f"{act.get('partial', 0)} partial, "
+                f"{act.get('drifted', 0)} drifted), "
+                f"{act.get('retries', 0)} retries"
+            )
     return 1 if audit["n_violations"] else 0
+
+
+def _job_state(job) -> dict:
+    """JSON-ready summary of one recovered job."""
+    return {
+        "app_name": job.app.name,
+        "budget_w": job.budget_w,
+        "n_nodes": job.n_nodes,
+        "n_threads": job.n_threads,
+        "node_ids": list(job.node_ids),
+        "remaining_iterations": job.remaining_iterations,
+        "segments": len(job.segments),
+        "elapsed_s": job.elapsed_s,
+        "energy_j": job.energy_j,
+        "parked": job.parked,
+        "park_reason": job.park_reason,
+        "done": job.done,
+    }
+
+
+def _print_jobs(runtime) -> None:
+    rows = [
+        [
+            i,
+            j.app.name,
+            f"{j.budget_w:.0f}",
+            j.n_nodes,
+            j.n_threads,
+            len(j.segments),
+            j.remaining_iterations,
+            "parked" if j.parked else ("done" if j.done else "running"),
+        ]
+        for i, j in enumerate(runtime.jobs)
+    ]
+    print(
+        render_table(
+            ["#", "app", "budget W", "nodes", "threads", "segments",
+             "remaining", "state"],
+            rows,
+            title="Recovered runtime state",
+        )
+    )
+
+
+def cmd_replay(args) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.runtime import PowerBoundedRuntime
+    from repro.errors import RuntimeCrashError
+    from repro.sim.faults import FaultEvent, FaultInjector, run_scripted
+
+    if not args.demo and args.journal is None:
+        print("error: supply a journal file or use --demo", file=sys.stderr)
+        return 2
+
+    engine = _engine(args.seed, args.testbed, args.racks)
+    clip = _scheduler(engine)
+
+    if not args.demo:
+        runtime = PowerBoundedRuntime.restore(
+            args.journal, clip, reattach=False
+        )
+        audit = clip.monitor.report()
+        if args.json:
+            print(json.dumps({
+                "journal": args.journal,
+                "jobs": [_job_state(j) for j in runtime.jobs],
+                "monitor": audit,
+            }, indent=2))
+        else:
+            _print_jobs(runtime)
+            print(
+                f"invariant audit: {audit['n_violations']} violation(s) "
+                f"across {audit['n_audits']} replayed cap sets"
+            )
+        return 1 if audit["n_violations"] else 0
+
+    # --demo: journal a run, crash it, restore, verify, resume
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = Path(tmp) / "runtime.journal"
+        runtime = PowerBoundedRuntime(clip, journal=journal_path)
+        injector = FaultInjector(
+            engine.cluster,
+            [
+                FaultEvent(at_s=0.0, action="cap_drift", factor=0.10, seed=3),
+                FaultEvent(at_s=1.0, action="crash"),
+            ],
+            budget_w=args.budget,
+        )
+        job = runtime.launch(
+            get_app("comd"), args.budget, n_nodes=4,
+            allow_concurrency_change=True,
+        )
+        crashed = False
+        try:
+            run_scripted(runtime, job, injector, segment_iterations=10)
+        except RuntimeCrashError as exc:
+            crashed = True
+            print(f"crash: {exc}", file=sys.stderr)
+        pre_audits = list(clip.monitor.audits)
+        pre_segments = len(job.segments)
+
+        clip.monitor.reset()
+        restored = PowerBoundedRuntime.restore(journal_path, clip)
+        job2 = restored.jobs[0]
+        identical = (
+            job2 == job and list(clip.monitor.audits) == pre_audits
+        )
+        if crashed and not job2.done:
+            run_scripted(restored, job2, injector, segment_iterations=10)
+        audit = clip.monitor.report()
+
+        if args.json:
+            print(json.dumps({
+                "crashed": crashed,
+                "pre_crash_segments": pre_segments,
+                "bit_identical": identical,
+                "job": _job_state(job2),
+                "monitor": audit,
+            }, indent=2))
+        else:
+            _print_jobs(restored)
+            print(f"crashed mid-run: {crashed}")
+            print(
+                f"restore bit-identical "
+                f"({pre_segments} journaled segment(s), "
+                f"{len(pre_audits)} audit(s)): {identical}"
+            )
+            print(
+                f"resumed to completion: {job2.done} | invariant audit: "
+                f"{audit['n_violations']} violation(s) across "
+                f"{audit['n_audits']} cap sets"
+            )
+        return 0 if identical and job2.done and not audit["n_violations"] else 1
 
 
 def cmd_report(args) -> int:
@@ -411,6 +648,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "faults": cmd_faults,
+        "replay": cmd_replay,
         "report": cmd_report,
     }[args.command]
     try:

@@ -24,6 +24,12 @@ swings that fire mid-drain reshape every *subsequent* placement — jobs
 land only on surviving nodes, under the budget in force at their start
 time.  Every decision is audited on the scheduler's shared
 :class:`~repro.core.monitor.BudgetInvariantMonitor`.
+
+When enforcement itself is suspect — drifting firmware, dropped cap
+writes — pass an :class:`~repro.core.watchdog.EnforcementGuard`: each
+job (or batch) is then *planned* at the guard's derated budget, and its
+measured draw is reported back afterwards, so persistent overdraw
+tightens subsequent decisions and healed enforcement relaxes them.
 """
 
 from __future__ import annotations
@@ -97,6 +103,7 @@ class PowerBoundedJobQueue:
         policy: str = "sequential",
         iterations: int | None = None,
         faults=None,
+        guard=None,
     ) -> QueueReport:
         """Execute every job and return the accounting report.
 
@@ -104,17 +111,19 @@ class PowerBoundedJobQueue:
         per-job records still separate wait from run time so policies
         can be compared on turnaround.  ``faults`` optionally supplies
         a :class:`~repro.sim.faults.FaultInjector` whose due events are
-        applied at every job/batch boundary.
+        applied at every job/batch boundary; ``guard`` optionally
+        supplies an :class:`~repro.core.watchdog.EnforcementGuard` that
+        derates planning budgets while measured draw breaches the bound.
         """
         if not apps:
             raise SchedulingError("queue is empty")
         if policy == "sequential":
             jobs = self._drain_sequential(
-                apps, cluster_budget_w, iterations, faults
+                apps, cluster_budget_w, iterations, faults, guard
             )
         elif policy == "coscheduled":
             jobs = self._drain_coscheduled(
-                apps, cluster_budget_w, iterations, faults
+                apps, cluster_budget_w, iterations, faults, guard
             )
         else:
             raise SchedulingError(f"unknown queue policy {policy!r}")
@@ -136,25 +145,34 @@ class PowerBoundedJobQueue:
         current = faults.budget_w if faults.budget_w is not None else budget
         return current, cluster.available_node_ids
 
-    def _drain_sequential(self, apps, budget, iterations, faults=None):
+    @staticmethod
+    def _measured_w(result) -> float:
+        """RAPL-visible draw of one run: the enforcement ground truth."""
+        return sum(rec.avg_capped_w for rec in result.nodes)
+
+    def _drain_sequential(self, apps, budget, iterations, faults=None, guard=None):
         now = 0.0
         out = []
         engine = self._scheduler.engine
-        if faults is None:
+        if faults is None and guard is None:
             # one batched pipeline pass: duplicate submissions of a
             # known application share a single decision (and bundle)
             decisions = self._scheduler.schedule_many(apps, budget)
         for i, app in enumerate(apps):
-            if faults is None:
+            if faults is None and guard is None:
                 decision = decisions[i]
                 config = decision.to_execution_config(iterations=iterations)
             else:
                 # decide just-in-time: the budget and the set of live
-                # nodes are whatever the fault script left in force
+                # nodes are whatever the fault script left in force,
+                # further derated while the guard distrusts enforcement
                 budget_now, pool = self._poll_faults(faults, now, budget)
+                plan_w = (
+                    guard.scheduling_budget(budget_now) if guard else budget_now
+                )
                 decision = self._scheduler.schedule(
                     app,
-                    budget_now,
+                    plan_w,
                     predefined_node_counts=tuple(range(1, len(pool) + 1)),
                 )
                 config = replace(
@@ -164,13 +182,16 @@ class PowerBoundedJobQueue:
                 self._scheduler.pipeline.monitor.audit(
                     "jobqueue.sequential",
                     app.name,
-                    budget_now,
+                    plan_w,
                     tuple(
                         (c.pkg_cap_w, c.dram_cap_w)
                         for c in decision.node_configs
                     ),
                 )
             result = engine.run(app, config)
+            if guard is not None:
+                budget_now, _ = self._poll_faults(faults, now, budget)
+                guard.observe(self._measured_w(result), budget_now)
             out.append(
                 CompletedJob(
                     app_name=app.name,
@@ -187,17 +208,22 @@ class PowerBoundedJobQueue:
             now += result.total_time_s
         return out
 
-    def _drain_coscheduled(self, apps, budget, iterations, faults=None):
+    def _drain_coscheduled(self, apps, budget, iterations, faults=None, guard=None):
         now = 0.0
         out = []
         pending = list(apps)
         batch_id = 0
         while pending:
             budget_now, pool = self._poll_faults(faults, now, budget)
-            batch = self._take_batch(pending, budget_now, pool)
+            plan_w = guard.scheduling_budget(budget_now) if guard else budget_now
+            batch = self._take_batch(pending, plan_w, pool)
             results = self._coordinator.run(
-                batch, budget_now, iterations=iterations, node_ids=pool
+                batch, plan_w, iterations=iterations, node_ids=pool
             )
+            if guard is not None:
+                guard.observe(
+                    sum(self._measured_w(r) for _, r in results), budget_now
+                )
             batch_time = max(r.total_time_s for _, r in results)
             for placement, result in results:
                 out.append(

@@ -1,0 +1,175 @@
+"""Append-only write-ahead journal for the power-bounded runtime.
+
+A power-bounded runtime that dies loses more than a job: it loses the
+record of which caps it promised the facility were in force.  The
+journal closes that hole the way databases do — every state transition
+of :class:`~repro.core.runtime.PowerBoundedRuntime` (launch,
+cap-commit, budget-change, park, recover, completed segment) is
+appended as one atomic JSONL record *after* the transition commits, so
+:meth:`~repro.core.runtime.PowerBoundedRuntime.restore` can replay the
+log into a bit-identical runtime: every ``RunningJob`` field, every
+``SegmentRecord``, and every ``BudgetInvariantMonitor`` audit.
+
+Records are one JSON object per line with a monotonically increasing
+``seq``.  Each line is flushed on write; a torn final line (the crash
+arriving mid-``write``) is tolerated on replay and simply dropped —
+redo-log semantics, the transition it described never fully happened
+from the journal's point of view.  JSON round-trips Python floats
+exactly (``repr`` shortest-round-trip), which is what makes bit-identity
+an achievable contract rather than an approximation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import JournalError
+
+__all__ = ["RECORD_KINDS", "RuntimeJournal"]
+
+#: Record kinds a journal may contain, in the vocabulary of the runtime
+#: transitions they mirror.
+RECORD_KINDS = (
+    "launch",
+    "cap_commit",
+    "budget_change",
+    "park",
+    "recover",
+    "segment",
+)
+
+
+class RuntimeJournal:
+    """Append-only JSONL redo log.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created (with parents) on first append, appended
+        to if it already exists — restoring a runtime and handing it
+        the same journal continues the log where the crash cut it.
+    durable:
+        When true, ``fsync`` after every record.  The default flushes
+        to the OS only: the scripted ``crash`` fault models the
+        *process* dying, not the kernel, and per-record fsync costs
+        more than the entire warm-path segment it protects.
+    """
+
+    def __init__(self, path: str | Path, durable: bool = False):
+        self._path = Path(path)
+        self._durable = durable
+        self._fh = None
+        self._seq = 0
+
+    @property
+    def path(self) -> Path:
+        """Location of the journal file."""
+        return self._path
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last appended record."""
+        return self._seq
+
+    def _open(self):
+        if self._fh is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            if self._path.exists():
+                # continue an existing log after the last intact record;
+                # a torn tail (crash mid-append) is truncated away so
+                # the next record starts on a clean line
+                records = self.read(self._path)
+                for rec in records:
+                    self._seq = max(self._seq, int(rec.get("seq", 0)))
+                intact = "".join(
+                    json.dumps(rec, separators=(",", ":")) + "\n"
+                    for rec in records
+                )
+                raw = self._path.read_text(encoding="utf-8")
+                if raw != intact:
+                    self._path.write_text(intact, encoding="utf-8")
+            self._fh = open(self._path, "a", encoding="utf-8")
+        return self._fh
+
+    def append(self, kind: str, payload: dict) -> int:
+        """Append one record; returns its sequence number.
+
+        The record is a single ``write`` call terminated by a newline,
+        then flushed — the atomicity unit a torn-line-tolerant reader
+        needs.
+        """
+        if kind not in RECORD_KINDS:
+            raise JournalError(
+                f"unknown journal record kind {kind!r}", path=str(self._path)
+            )
+        fh = self._open()
+        self._seq += 1
+        record = {"seq": self._seq, "kind": kind}
+        record.update(payload)
+        try:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            fh.flush()
+            if self._durable:
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            raise JournalError(
+                f"journal append failed: {exc}", path=str(self._path)
+            ) from exc
+        return self._seq
+
+    def close(self) -> None:
+        """Close the underlying file (reopened lazily on next append)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    @staticmethod
+    def read(path: str | Path) -> list[dict]:
+        """Parse a journal file into its intact records, in order.
+
+        A torn *final* line — the signature of a crash mid-append — is
+        dropped silently (the transition never committed).  A corrupt
+        line anywhere else, an out-of-order ``seq``, or an unknown
+        record kind raises :class:`~repro.errors.JournalError`: that is
+        not a crash artefact but real corruption.
+        """
+        p = Path(path)
+        try:
+            lines = p.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            raise JournalError(
+                f"cannot read journal: {exc}", path=str(p)
+            ) from exc
+        records: list[dict] = []
+        last_seq = 0
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if i == len(lines) - 1:
+                    break  # torn tail: the crash interrupted this append
+                raise JournalError(
+                    f"corrupt journal record at line {i + 1}: {exc}",
+                    path=str(p),
+                ) from exc
+            if (
+                not isinstance(rec, dict)
+                or rec.get("kind") not in RECORD_KINDS
+                or not isinstance(rec.get("seq"), int)
+            ):
+                raise JournalError(
+                    f"malformed journal record at line {i + 1}", path=str(p)
+                )
+            if rec["seq"] <= last_seq:
+                raise JournalError(
+                    f"journal sequence regressed at line {i + 1} "
+                    f"({rec['seq']} after {last_seq})",
+                    path=str(p),
+                )
+            last_seq = rec["seq"]
+            records.append(rec)
+        return records

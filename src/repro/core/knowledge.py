@@ -48,6 +48,12 @@ class KnowledgeDB:
 
     def __init__(self):
         self._entries: dict[tuple[str, str], KnowledgeEntry] = {}
+        self._load_error: KnowledgeBaseError | None = None
+
+    @property
+    def load_error(self) -> KnowledgeBaseError | None:
+        """Why :meth:`load_or_fresh` fell back to an empty database."""
+        return self._load_error
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -119,29 +125,59 @@ class KnowledgeDB:
     def load(cls, path: str | Path) -> "KnowledgeDB":
         """Read a database previously written by :meth:`save`.
 
-        Raises a clear :class:`~repro.errors.KnowledgeError` for
-        unreadable files and for schema-version mismatches (a database
-        written by an incompatible release must not be half-parsed).
+        Raises a clear :class:`~repro.errors.KnowledgeError` — carrying
+        the offending path — for unreadable or truncated files, for
+        schema-version mismatches (a database written by an
+        incompatible release must not be half-parsed), and for entries
+        whose fields no longer deserialize.
         """
+        path = Path(path)
         try:
-            payload = json.loads(Path(path).read_text())
+            payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
-            raise KnowledgeError(f"cannot load knowledge DB: {exc}") from exc
+            raise KnowledgeError(
+                f"cannot load knowledge DB: {exc}", path=str(path)
+            ) from exc
         version = payload.get("version") if isinstance(payload, dict) else None
         if version != SCHEMA_VERSION:
             raise KnowledgeError(
                 f"knowledge DB schema version {version!r} is not supported "
                 f"(this release reads version {SCHEMA_VERSION}); re-profile "
-                f"or convert the database"
+                f"or convert the database",
+                path=str(path),
             )
         db = cls()
-        for raw in payload["entries"]:
-            db.put(
-                KnowledgeEntry(
-                    profile=_profile_from_dict(raw["profile"]),
-                    inflection_point=raw["inflection_point"],
+        try:
+            for raw in payload["entries"]:
+                db.put(
+                    KnowledgeEntry(
+                        profile=_profile_from_dict(raw["profile"]),
+                        inflection_point=raw["inflection_point"],
+                    )
                 )
-            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise KnowledgeError(
+                f"corrupt knowledge DB entry: {exc!r}", path=str(path)
+            ) from exc
+        return db
+
+    @classmethod
+    def load_or_fresh(cls, path: str | Path) -> "KnowledgeDB":
+        """Load a database, degrading to an empty one on corruption.
+
+        The graceful-degradation entry point for long-running drains: a
+        missing, truncated, or corrupt database costs re-profiling (the
+        scheduler falls back to profiling each application from
+        scratch) instead of crashing the queue.  The corrupt file is
+        left untouched for post-mortem; the error is recorded on the
+        returned database as :attr:`load_error`.
+        """
+        db: KnowledgeDB
+        try:
+            db = cls.load(path)
+        except KnowledgeError as exc:
+            db = cls()
+            db._load_error = exc
         return db
 
 

@@ -36,27 +36,96 @@ Every cap set the runtime commits is audited by the shared
 The runtime re-coordinates after a node degradation event
 (:meth:`SimulatedCluster.degrade_node`) as well, re-measuring node
 factors so the weakened part receives compensating power.
+
+Two resilience layers wrap all of the above:
+
+* **verified actuation** — every cap set the runtime commits is
+  physically written to the nodes' RAPL interfaces through the
+  verified write path (readback + bounded retry + backoff); a write
+  that will not stick raises :class:`~repro.errors.ActuationError`
+  *transactionally* — the hardware is rolled back to its snapshot and
+  the job left bit-identical, the same contract a rejected budget
+  already honours;
+* **journaling** — when constructed with a journal path, every state
+  transition (launch / cap-commit / budget-change / park / recover /
+  segment) is appended to a :class:`~repro.core.journal.RuntimeJournal`
+  after it commits, and :meth:`PowerBoundedRuntime.restore` replays
+  the log into a bit-identical runtime after a crash.
+
+A :class:`~repro.core.watchdog.PowerEnforcementWatchdog` may attach to
+the runtime to compare measured draw against the committed caps after
+every segment and drive corrective re-coordination through the same
+transactional paths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.coordination import coordinate_power, measure_node_factors
+from repro.core.journal import RuntimeJournal
 from repro.core.monitor import BudgetInvariantMonitor
 from repro.core.recommend import Recommender
 from repro.core.scheduler import ClipScheduler
 from repro.errors import (
+    ActuationError,
     InfeasibleBudgetError,
     NodeFailureError,
     SchedulingError,
 )
 from repro.sim.engine import ExecutionConfig
-from repro.workloads.characteristics import WorkloadCharacteristics
+from repro.workloads.characteristics import (
+    CommPattern,
+    Phase,
+    WorkloadCharacteristics,
+)
 
 __all__ = ["SegmentRecord", "RunningJob", "PowerBoundedRuntime"]
+
+
+def _app_to_dict(app: WorkloadCharacteristics) -> dict:
+    """JSON-safe full serialization of a workload record."""
+    d = asdict(app)
+    d["comm_pattern"] = app.comm_pattern.value
+    return d
+
+
+def _app_from_dict(d: dict) -> WorkloadCharacteristics:
+    """Inverse of :func:`_app_to_dict` (exact: floats round-trip)."""
+    d = dict(d)
+    d["comm_pattern"] = CommPattern(d["comm_pattern"])
+    d["phases"] = tuple(Phase(**p) for p in d.get("phases", ()))
+    return WorkloadCharacteristics(**d)
+
+
+def _bound_from_json(value):
+    """Audit bound back from JSON: lists become per-rank tuples."""
+    if isinstance(value, list):
+        return tuple(float(x) for x in value)
+    return value
+
+
+def _split_caps(power, budget_w: float, n_threads: int) -> tuple[float, ...]:
+    """Class-aware split of one node's budget into its domain caps.
+
+    CPU classes keep the two-way host split; accelerator classes grant
+    the device the highest ladder level that fits after the host floor
+    is reserved (host-only apps get exactly the board idle draw) and
+    split the remainder, so the cap tuple's arity always matches the
+    node's hardware class.
+    """
+    lo_w, hi_w = power.gpu_power_range()
+    if hi_w <= 0.0:
+        return power.split_node_budget(budget_w, n_threads)
+    rng = power.power_range(n_threads)
+    grant_w = lo_w
+    window_hi_w = budget_w - (rng.cpu_lo_w + rng.mem_lo_w)
+    for cap_w, _clock_hz in power.gpu_shift_candidates(lo_w, window_hi_w):
+        grant_w = max(grant_w, cap_w)
+    return power.split_node_budget_gpu(budget_w, n_threads, grant_w)
 
 
 @dataclass(frozen=True)
@@ -120,11 +189,19 @@ class RunningJob:
 class PowerBoundedRuntime:
     """Executes jobs in segments and re-coordinates power on the fly."""
 
-    def __init__(self, scheduler: ClipScheduler):
+    def __init__(
+        self,
+        scheduler: ClipScheduler,
+        journal: RuntimeJournal | str | Path | None = None,
+    ):
         self._scheduler = scheduler
         self._engine = scheduler.engine
         self._factors = scheduler.node_factors
         self._jobs: list[RunningJob] = []
+        if journal is not None and not isinstance(journal, RuntimeJournal):
+            journal = RuntimeJournal(journal)
+        self._journal = journal
+        self._watchdog = None
 
     @property
     def scheduler(self) -> ClipScheduler:
@@ -137,9 +214,33 @@ class PowerBoundedRuntime:
         return self._scheduler.pipeline.monitor
 
     @property
+    def journal(self) -> RuntimeJournal | None:
+        """The write-ahead journal, when crash recovery is enabled."""
+        return self._journal
+
+    @property
+    def watchdog(self):
+        """The attached enforcement watchdog, if any."""
+        return self._watchdog
+
+    def attach_watchdog(self, watchdog) -> None:
+        """Hook a watchdog in; it is consulted after every segment."""
+        self._watchdog = watchdog
+
+    @property
     def jobs(self) -> tuple[RunningJob, ...]:
         """Every job launched through this runtime, in launch order."""
         return tuple(self._jobs)
+
+    def _job_index(self, job: RunningJob) -> int:
+        for i, j in enumerate(self._jobs):
+            if j is job:
+                return i
+        return len(self._jobs)  # being launched right now
+
+    def _journal_write(self, kind: str, payload: dict) -> None:
+        if self._journal is not None:
+            self._journal.append(kind, payload)
 
     # ------------------------------------------------------------------
 
@@ -190,16 +291,25 @@ class PowerBoundedRuntime:
             allow_concurrency_change=allow_concurrency_change,
             allow_shrink=allow_shrink,
         )
-        self._recoordinate(job, recommender)
+        payload = self._recoordinate(job, recommender, journal_kind=None)
         self._jobs.append(job)
+        payload.update(
+            app=_app_to_dict(app),
+            allow_concurrency_change=allow_concurrency_change,
+            allow_shrink=allow_shrink,
+            remaining_iterations=job.remaining_iterations,
+        )
+        self._journal_write("launch", payload)
         return job
 
     def update_budget(self, job: RunningJob, new_budget_w: float) -> None:
         """React to a cluster budget change between segments.
 
         Atomic: the new cap set is planned and validated before any job
-        field changes, so a raised :class:`InfeasibleBudgetError`
-        leaves the job bit-identical to its pre-call state.
+        field changes, so a raised :class:`InfeasibleBudgetError` (or
+        :class:`~repro.errors.ActuationError` from the verified
+        hardware commit) leaves the job bit-identical to its pre-call
+        state.
         """
         if new_budget_w <= 0:
             raise SchedulingError("budget must be > 0")
@@ -207,7 +317,40 @@ class PowerBoundedRuntime:
             raise NodeFailureError(
                 f"cannot re-budget a parked job ({job.park_reason})"
             )
-        self._recoordinate(job, self._models(job.app), budget_w=new_budget_w)
+        self._recoordinate(
+            job,
+            self._models(job.app),
+            budget_w=new_budget_w,
+            journal_kind="budget_change",
+        )
+
+    def recoordinate(
+        self, job: RunningJob, budget_w: float | None = None,
+        source: str = "watchdog",
+    ) -> None:
+        """Public transactional re-coordination (the watchdog's lever).
+
+        Re-plans and re-commits the job's caps against *budget_w*
+        (default: its current budget) with the audit attributed to
+        *source*.  ``job.budget_w`` — the facility bound — is left
+        unchanged: a corrective derate plans below the bound without
+        pretending the bound moved, so the next machine-room budget
+        event restores full planning headroom.  Same atomicity as
+        :meth:`update_budget`.
+        """
+        if job.parked:
+            raise NodeFailureError(
+                f"cannot re-coordinate a parked job ({job.park_reason})"
+            )
+        if budget_w is not None and budget_w <= 0:
+            raise SchedulingError("budget must be > 0")
+        self._recoordinate(
+            job,
+            self._models(job.app),
+            budget_w=budget_w,
+            source=source,
+            commit_budget=False,
+        )
 
     def recalibrate(self) -> None:
         """Re-measure node power factors (after degradation events)."""
@@ -259,7 +402,7 @@ class PowerBoundedRuntime:
             min(budget_w, n_nodes * hi), factors, lo_w=lo, hi_w=hi
         )
         caps = tuple(
-            power.split_node_budget(float(b), n_threads) for b in budgets
+            _split_caps(power, float(b), n_threads) for b in budgets
         )
         return n_threads, caps, lo, hi
 
@@ -305,7 +448,7 @@ class PowerBoundedRuntime:
             hi_w=hi_arr,
         )
         caps = tuple(
-            m.split_node_budget(float(b), n_threads)
+            _split_caps(m, float(b), n_threads)
             for m, b in zip(models, budgets)
         )
         return (
@@ -315,35 +458,95 @@ class PowerBoundedRuntime:
             tuple(float(x) for x in hi_arr),
         )
 
+    def _commit_caps(
+        self,
+        node_ids: tuple[int, ...],
+        caps: tuple[tuple[float, ...], ...],
+        force: bool = False,
+    ) -> None:
+        """Physically write a cap set, all nodes or none.
+
+        Each node's tuple goes through the verified write path; on
+        :class:`~repro.errors.ActuationError` every node written so far
+        is rolled back to its snapshot (out-of-band, always lands) and
+        the error propagates — the caller's job state is untouched
+        because job fields only change after this returns.  ``force``
+        uses the out-of-band path directly (emergency throttle).
+        """
+        cluster = self._engine.cluster
+        snapshots = []
+        try:
+            for node_id, cap in zip(node_ids, caps):
+                rapl = cluster.node(node_id).rapl
+                snapshots.append((rapl, rapl.snapshot_caps()))
+                if force:
+                    rapl.force_caps(cap)
+                else:
+                    rapl.write_caps_verified(cap)
+        except ActuationError:
+            for rapl, snap in snapshots:
+                rapl.restore_caps(snap)
+            raise
+
     def _recoordinate(
         self,
         job: RunningJob,
         recommender: Recommender,
         budget_w: float | None = None,
         node_ids: tuple[int, ...] | None = None,
-    ) -> None:
+        source: str = "runtime",
+        force: bool = False,
+        journal_kind: str | None = "cap_commit",
+        commit_budget: bool = True,
+    ) -> dict:
         """Re-split the job's budget over a decomposition, atomically.
 
         Plans first (:meth:`_plan` raises with the job untouched), then
-        commits budget, decomposition, concurrency, and caps together,
-        and audits the committed cap set on the shared monitor.
+        commits the cap set to the hardware through the verified write
+        path (an :class:`~repro.errors.ActuationError` rolls the
+        hardware back and leaves the job untouched too), then commits
+        budget, decomposition, concurrency, and caps together, audits
+        the committed set on the shared monitor, and journals the
+        transition.  Returns the journal payload (callers that journal
+        a different record kind reuse it).
+
+        With ``commit_budget=False`` the caps are planned against
+        *budget_w* but ``job.budget_w`` keeps the facility bound — the
+        watchdog's corrective derate, which must not masquerade as a
+        machine-room budget change.
         """
         budget = job.budget_w if budget_w is None else budget_w
         ids = job.node_ids if node_ids is None else node_ids
         n_threads, caps, lo, hi = self._plan(job, recommender, budget, ids)
-        job.budget_w = budget
+        self._commit_caps(ids, caps, force=force)
+        if commit_budget:
+            job.budget_w = budget
         job.node_ids = ids
         job.n_nodes = len(ids)
         job.n_threads = n_threads
         job.per_node_caps = caps
         self.monitor.audit(
-            "runtime",
+            source,
             job.app.name,
             budget,
             caps,
             node_lo_w=lo,
             node_hi_w=hi,
         )
+        payload = {
+            "job": self._job_index(job),
+            "source": source,
+            "budget_w": job.budget_w,
+            "audit_budget_w": budget,
+            "node_ids": list(ids),
+            "n_threads": n_threads,
+            "per_node_caps": [list(c) for c in caps],
+            "node_lo_w": lo,
+            "node_hi_w": hi,
+        }
+        if journal_kind is not None:
+            self._journal_write(journal_kind, payload)
+        return payload
 
     # -- node failure handling ------------------------------------------
 
@@ -351,6 +554,9 @@ class PowerBoundedRuntime:
         """Sideline a job the cluster can no longer serve."""
         job.parked = True
         job.park_reason = reason
+        self._journal_write(
+            "park", {"job": self._job_index(job), "reason": reason}
+        )
 
     def fail_node(self, node_id: int) -> list[RunningJob]:
         """Take a node out of service and re-coordinate its jobs.
@@ -388,6 +594,12 @@ class PowerBoundedRuntime:
                     f"node {node_id} failed; budget infeasible on the "
                     f"{len(survivors)} survivors ({exc})",
                 )
+            except ActuationError as exc:
+                self._park(
+                    job,
+                    f"node {node_id} failed; cap writes to the "
+                    f"{len(survivors)} survivors would not stick ({exc})",
+                )
         return affected
 
     def recover_node(self, node_id: int) -> list[RunningJob]:
@@ -407,13 +619,85 @@ class PowerBoundedRuntime:
             if not all(cluster.is_available(i) for i in job.node_ids):
                 continue
             try:
-                self._recoordinate(job, self._models(job.app))
-            except InfeasibleBudgetError:
-                continue  # nodes are back but the budget still falls short
+                self._recoordinate(
+                    job, self._models(job.app), journal_kind="recover"
+                )
+            except (InfeasibleBudgetError, ActuationError):
+                continue  # nodes are back but the job still cannot run
             job.parked = False
             job.park_reason = None
             resumed.append(job)
         return resumed
+
+    # -- enforcement levers (the watchdog's escalation ladder) ----------
+
+    def reissue_caps(
+        self, job: RunningJob, source: str = "watchdog.reissue"
+    ) -> None:
+        """Re-write the job's committed caps through the verified path.
+
+        First rung of breach correction: a dropped or partially-applied
+        write leaves the registers disagreeing with the committed set,
+        and re-issuing (with readback verification) repairs that
+        without re-planning.  The re-written set is re-audited so the
+        corrective action appears on the ledger.  Raises
+        :class:`~repro.errors.ActuationError` when the writes will not
+        stick (hardware rolled back).
+        """
+        if job.parked:
+            raise NodeFailureError(f"job is parked: {job.park_reason}")
+        self._commit_caps(job.node_ids, job.per_node_caps)
+        self.monitor.audit(
+            source, job.app.name, job.budget_w, job.per_node_caps
+        )
+        self._journal_write(
+            "cap_commit",
+            {
+                "job": self._job_index(job),
+                "source": source,
+                "budget_w": job.budget_w,
+                "node_ids": list(job.node_ids),
+                "n_threads": job.n_threads,
+                "per_node_caps": [list(c) for c in job.per_node_caps],
+                "node_lo_w": None,
+                "node_hi_w": None,
+            },
+        )
+
+    def emergency_throttle(self, job: RunningJob) -> None:
+        """Uniform throttle to the floor of the acceptable range.
+
+        Last rung of the watchdog's escalation: when re-coordination
+        itself fails (infeasible derated budget, unresponsive write
+        path), every node of the job is forced — out-of-band, bypassing
+        the fallible in-band path — to the lowest acceptable power at
+        the current concurrency.  Always lands, always audited
+        (``watchdog.emergency``).
+        """
+        if job.parked:
+            raise NodeFailureError(f"job is parked: {job.park_reason}")
+        recommender = self._models(job.app)
+        pipeline = self._scheduler.pipeline
+        specs = pipeline.node_specs
+        id_specs = [specs[i] for i in job.node_ids]
+        if all(s == id_specs[0] for s in id_specs):
+            models = [recommender.power_model] * len(job.node_ids)
+        else:
+            entry = pipeline.ensure_knowledge(job.app)
+            models = [
+                pipeline.class_bundle(entry, s).power_model for s in id_specs
+            ]
+        floor_w = float(
+            sum(m.power_range(job.n_threads).node_lo_w for m in models)
+        )
+        self._recoordinate(
+            job,
+            recommender,
+            budget_w=min(job.budget_w, floor_w),
+            source="watchdog.emergency",
+            force=True,
+            commit_budget=False,
+        )
 
     # -- segment execution ----------------------------------------------
 
@@ -446,6 +730,20 @@ class PowerBoundedRuntime:
         )
         job.segments.append(record)
         job.remaining_iterations -= chunk
+        self._journal_write(
+            "segment",
+            {
+                "job": self._job_index(job),
+                "iterations": chunk,
+                "budget_w": record.budget_w,
+                "n_threads": record.n_threads,
+                "time_s": record.time_s,
+                "energy_j": record.energy_j,
+                "performance": record.performance,
+            },
+        )
+        if self._watchdog is not None:
+            self._watchdog.observe(job)
         return record
 
     def run_to_completion(
@@ -455,3 +753,90 @@ class PowerBoundedRuntime:
         while not job.done:
             self.advance(job, segment_iterations)
         return job
+
+    # -- crash recovery -------------------------------------------------
+
+    @classmethod
+    def restore(
+        cls,
+        journal_path: str | Path,
+        scheduler: ClipScheduler,
+        reattach: bool = True,
+    ) -> "PowerBoundedRuntime":
+        """Rebuild a runtime from its journal after a crash.
+
+        Replays every intact record in order: jobs are reconstructed
+        field-by-field (the app itself is deserialized from the launch
+        record, so custom workloads survive too) and every journaled
+        cap commit is re-audited, reproducing the monitor's ledger
+        exactly — replay is bit-identical because JSON round-trips
+        floats exactly.  No hardware is touched: the next
+        :meth:`advance` re-establishes the caps on the nodes it runs.
+        With ``reattach`` (the default) the restored runtime continues
+        appending to the same journal file.
+        """
+        runtime = cls(scheduler)
+        for record in RuntimeJournal.read(journal_path):
+            runtime._replay(record)
+        if reattach:
+            runtime._journal = RuntimeJournal(journal_path)
+        return runtime
+
+    def _replay(self, record: dict) -> None:
+        kind = record["kind"]
+        if kind == "launch":
+            job = RunningJob(
+                app=_app_from_dict(record["app"]),
+                n_nodes=len(record["node_ids"]),
+                n_threads=record["n_threads"],
+                node_ids=tuple(record["node_ids"]),
+                budget_w=record["budget_w"],
+                per_node_caps=tuple(
+                    tuple(c) for c in record["per_node_caps"]
+                ),
+                remaining_iterations=record["remaining_iterations"],
+                allow_concurrency_change=record["allow_concurrency_change"],
+                allow_shrink=record["allow_shrink"],
+            )
+            self._jobs.append(job)
+            self._replay_audit(record, job)
+        elif kind in ("cap_commit", "budget_change", "recover"):
+            job = self._jobs[record["job"]]
+            job.budget_w = record["budget_w"]
+            job.node_ids = tuple(record["node_ids"])
+            job.n_nodes = len(job.node_ids)
+            job.n_threads = record["n_threads"]
+            job.per_node_caps = tuple(
+                tuple(c) for c in record["per_node_caps"]
+            )
+            if kind == "recover":
+                job.parked = False
+                job.park_reason = None
+            self._replay_audit(record, job)
+        elif kind == "park":
+            job = self._jobs[record["job"]]
+            job.parked = True
+            job.park_reason = record["reason"]
+        elif kind == "segment":
+            job = self._jobs[record["job"]]
+            job.segments.append(
+                SegmentRecord(
+                    iterations=record["iterations"],
+                    budget_w=record["budget_w"],
+                    n_threads=record["n_threads"],
+                    time_s=record["time_s"],
+                    energy_j=record["energy_j"],
+                    performance=record["performance"],
+                )
+            )
+            job.remaining_iterations -= record["iterations"]
+
+    def _replay_audit(self, record: dict, job: RunningJob) -> None:
+        self.monitor.audit(
+            record["source"],
+            job.app.name,
+            record.get("audit_budget_w", record["budget_w"]),
+            tuple(tuple(c) for c in record["per_node_caps"]),
+            node_lo_w=_bound_from_json(record["node_lo_w"]),
+            node_hi_w=_bound_from_json(record["node_hi_w"]),
+        )

@@ -23,6 +23,9 @@ __all__ = [
     "BudgetInvariantError",
     "KnowledgeBaseError",
     "KnowledgeError",
+    "ActuationError",
+    "JournalError",
+    "RuntimeCrashError",
 ]
 
 
@@ -96,7 +99,54 @@ class BudgetInvariantError(ClipError):
 
 
 class KnowledgeBaseError(ClipError):
-    """The knowledge database rejected an operation (missing entry, ...)."""
+    """The knowledge database rejected an operation (missing entry, ...).
+
+    When raised by the persistence layer for an unreadable, corrupt, or
+    schema-incompatible file, ``path`` carries the offending location so
+    callers can report (and fall back) without string-parsing the
+    message.
+    """
+
+    def __init__(self, message: str, path: "str | None" = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class ActuationError(ClipError):
+    """A power-cap write did not take effect on the hardware.
+
+    Raised by :meth:`~repro.hw.rapl.RaplInterface.set_cap_verified` after
+    readback verification kept failing through the bounded retry/backoff
+    schedule.  ``domain`` names the register, ``requested_w`` the cap
+    that would not stick.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        domain: "str | None" = None,
+        requested_w: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.domain = domain
+        self.requested_w = requested_w
+
+
+class JournalError(ClipError):
+    """The runtime write-ahead journal is unusable (bad record, bad path)."""
+
+    def __init__(self, message: str, path: "str | None" = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class RuntimeCrashError(ClipError):
+    """A scripted ``crash`` fault killed the runtime process.
+
+    The simulation analogue of SIGKILL: fault scripts raise it to prove
+    that :meth:`~repro.core.runtime.PowerBoundedRuntime.restore` can
+    rebuild the exact pre-crash state from the journal alone.
+    """
 
 
 #: Preferred alias for :class:`KnowledgeBaseError` (the persistence layer

@@ -1,0 +1,156 @@
+"""Fallible power-cap actuation.
+
+Real RAPL writes do not always land: MSR writes get lost under firmware
+contention, BMC round-trips time out, and buggy power-management
+firmware clamps or mis-scales the programmed limit.  Production
+power-bounded runtimes (FastCap-style) therefore *verify* every cap
+write by reading the register back and re-issue it when the value did
+not stick.
+
+This module models the write path.  Every cap write on a
+:class:`~repro.hw.rapl.RaplInterface` is routed through an injectable
+:class:`ActuationPolicy` that decides what actually happens to the
+register:
+
+``ok``
+    The requested cap is programmed and enforced — the default.
+``drop``
+    The write is silently ignored; the register keeps its old value.
+    Detectable by readback, so the verified write path retries it away.
+``partial``
+    The register lands partway between the old and requested value
+    (a firmware clamp).  Also detectable by readback.
+``drift``
+    The register *reads back* the requested value but the silicon
+    enforces a drifted one.  Invisible to readback by construction —
+    only measured power can expose it, which is exactly the breach the
+    :class:`~repro.core.watchdog.PowerEnforcementWatchdog` exists to
+    catch.
+
+Faults are drawn from a seeded RNG so every scripted scenario is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.units import check_fraction, check_non_negative
+
+__all__ = [
+    "ActuationResult",
+    "ActuationPolicy",
+    "FaultyActuation",
+    "PERFECT_ACTUATION",
+]
+
+
+@dataclass(frozen=True)
+class ActuationResult:
+    """Outcome of one cap write attempt.
+
+    ``kind`` is one of ``ok`` / ``drop`` / ``partial`` / ``drift``;
+    ``enforced_w`` is the cap the silicon will actually honour (for a
+    ``drop`` it is the previous enforced value).
+    """
+
+    kind: str
+    enforced_w: float
+
+
+class ActuationPolicy:
+    """Perfect actuation: every write lands exactly as requested.
+
+    Subclasses override :meth:`apply` to inject failures.  Policies are
+    deliberately hardware-agnostic — they see the requested and current
+    cap in watts plus the domain *name*, nothing else — so one policy
+    instance can be shared across all domains of a node.
+    """
+
+    def apply(
+        self, domain: str, requested_w: float, current_w: float
+    ) -> ActuationResult:
+        """Decide the fate of a cap write; perfect by default."""
+        del domain, current_w
+        return ActuationResult("ok", requested_w)
+
+    def reset(self) -> None:
+        """Restore pristine behaviour (no-op for the perfect policy)."""
+
+
+#: Shared default policy: stateless, so one instance serves every node.
+PERFECT_ACTUATION = ActuationPolicy()
+
+
+class FaultyActuation(ActuationPolicy):
+    """Seeded fault injection on the cap write path.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; identical scripts reproduce identical fault trains.
+    drop_prob:
+        Probability a write is silently ignored.
+    partial_prob:
+        Probability the register lands halfway to the requested value.
+    drift_prob:
+        Probability the write "sticks" for readback but is enforced at
+        ``requested * (1 + drift_frac)``.
+    drift_frac:
+        Relative enforcement error of a drifted write.  Positive drift
+        (the dangerous direction — the node draws *more* than its cap)
+        is what fault scripts inject to exercise the watchdog.
+
+    The attributes are mutable on purpose: a
+    :class:`~repro.sim.faults.FaultInjector` installs one policy per
+    node and later scripted events tighten or relax individual
+    probabilities without disturbing the RNG stream.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_prob: float = 0.0,
+        partial_prob: float = 0.0,
+        drift_prob: float = 0.0,
+        drift_frac: float = 0.0,
+    ) -> None:
+        check_fraction(drop_prob, "drop_prob")
+        check_fraction(partial_prob, "partial_prob")
+        check_fraction(drift_prob, "drift_prob")
+        check_non_negative(abs(drift_frac), "abs(drift_frac)")
+        self.drop_prob = drop_prob
+        self.partial_prob = partial_prob
+        self.drift_prob = drift_prob
+        self.drift_frac = drift_frac
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def apply(
+        self, domain: str, requested_w: float, current_w: float
+    ) -> ActuationResult:
+        """Roll one seeded outcome: drop, partial, drift, or clean write."""
+        del domain
+        roll = self._rng.random()
+        if roll < self.drop_prob:
+            return ActuationResult("drop", current_w)
+        roll -= self.drop_prob
+        if roll < self.partial_prob:
+            return ActuationResult(
+                "partial", current_w + 0.5 * (requested_w - current_w)
+            )
+        roll -= self.partial_prob
+        if roll < self.drift_prob:
+            return ActuationResult(
+                "drift", max(0.0, requested_w * (1.0 + self.drift_frac))
+            )
+        return ActuationResult("ok", requested_w)
+
+    def reset(self) -> None:
+        """Clear all fault probabilities and rewind the RNG."""
+        self.drop_prob = 0.0
+        self.partial_prob = 0.0
+        self.drift_prob = 0.0
+        self.drift_frac = 0.0
+        self._rng = random.Random(self._seed)

@@ -114,8 +114,9 @@ class SimulatedNode:
             self._rapl.set_cap(Domain.GPU, gpu_w)
 
     def reset(self) -> None:
-        """Clear caps, traces, and return DVFS to nominal."""
+        """Clear caps, traces, injected faults; return DVFS to nominal."""
         self._rapl.clear_caps()
+        self._rapl.reset_actuation()
         self._meter.reset()
         for ctrl in self._dvfs:
             ctrl.reset()

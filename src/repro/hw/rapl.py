@@ -25,12 +25,23 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import PowerDomainError
+from repro.errors import ActuationError, PowerDomainError
+from repro.hw.actuation import PERFECT_ACTUATION, ActuationPolicy
 from repro.hw.dvfs import FrequencyLadder
 from repro.hw.power import PowerModel
 from repro.units import check_non_negative, check_positive
 
 __all__ = ["Domain", "RaplDomain", "RaplInterface", "OperatingPoint"]
+
+#: Verified-write retry budget: one initial attempt plus this many
+#: re-issues before :class:`~repro.errors.ActuationError` is raised.
+MAX_CAP_RETRIES = 4
+
+#: First retry backoff (seconds, simulated — accounted, never slept).
+CAP_BACKOFF_INITIAL_S = 1e-3
+
+#: Readback comparison tolerance for verified cap writes.
+CAP_READBACK_TOLERANCE_W = 1e-9
 
 #: Energy unit of the simulated energy-status register (joules per LSB).
 #: Haswell uses 61 microjoule units; we keep the same granularity.
@@ -56,13 +67,27 @@ class Domain(enum.Enum):
     GPU = "gpu"
 
 
+#: Domain order of positional cap tuples: ``(pkg, dram)`` on CPU nodes,
+#: ``(pkg, dram, gpu)`` on accelerator nodes.
+CAP_TUPLE_DOMAINS = (Domain.PKG, Domain.DRAM, Domain.GPU)
+
+
 class RaplDomain:
-    """One power domain: an energy counter plus a power limit."""
+    """One power domain: an energy counter plus a power limit.
+
+    The limit is held twice: ``cap_w`` is the *programmed* value — what
+    a readback of the limit register returns — while the *enforced*
+    value is what the silicon actually honours.  Under perfect
+    actuation the two are identical; a drifted write makes them
+    diverge, which is exactly the failure mode readback verification
+    cannot see.
+    """
 
     def __init__(self, domain: Domain, max_power_w: float):
         self._domain = domain
         self._max_power_w = check_positive(max_power_w, "max_power_w")
         self._cap_w: float | None = None
+        self._enforced_w: float | None = None
         self._raw_energy = 0  # register value, wraps at ENERGY_WRAP
         self._total_energy_j = 0.0  # unwrapped, for tests/metrics
         self._throttle_events = 0
@@ -74,15 +99,20 @@ class RaplDomain:
 
     @property
     def cap_w(self) -> float | None:
-        """Active power limit in watts, or ``None`` when uncapped."""
+        """Programmed power limit (readback value), ``None`` if uncapped."""
         return self._cap_w
+
+    @property
+    def enforced_w(self) -> float | None:
+        """Limit the silicon honours; differs from ``cap_w`` under drift."""
+        return self._enforced_w
 
     @property
     def effective_cap_w(self) -> float:
         """Cap actually enforced: the limit, clipped to the domain max."""
-        if self._cap_w is None:
+        if self._enforced_w is None:
             return self._max_power_w
-        return min(self._cap_w, self._max_power_w)
+        return min(self._enforced_w, self._max_power_w)
 
     @property
     def throttle_events(self) -> int:
@@ -90,10 +120,26 @@ class RaplDomain:
         return self._throttle_events
 
     def set_cap(self, watts: float | None) -> None:
-        """Program the power limit; ``None`` clears it."""
+        """Program the power limit perfectly; ``None`` clears it.
+
+        This is the raw register write — no actuation policy involved.
+        Fault-aware callers go through :meth:`RaplInterface.set_cap`,
+        which routes through the node's policy and may call
+        :meth:`program` with diverging values instead.
+        """
         if watts is not None:
             check_non_negative(watts, "cap")
         self._cap_w = watts
+        self._enforced_w = watts
+
+    def program(self, readback_w: float | None, enforced_w: float | None) -> None:
+        """Set the programmed (readback) and enforced limits separately."""
+        if readback_w is not None:
+            check_non_negative(readback_w, "cap")
+        if enforced_w is not None:
+            check_non_negative(enforced_w, "enforced cap")
+        self._cap_w = readback_w
+        self._enforced_w = enforced_w
 
     def read_energy_register(self) -> int:
         """Raw energy-status register (wraps like the hardware MSR)."""
@@ -189,8 +235,23 @@ class RaplInterface:
         effect §III-B.2 coordinates away).
     """
 
-    def __init__(self, power_model: PowerModel):
+    def __init__(
+        self,
+        power_model: PowerModel,
+        actuation: ActuationPolicy | None = None,
+    ):
         self._model = power_model
+        self._actuation = actuation if actuation is not None else PERFECT_ACTUATION
+        self._stats = {
+            "writes": 0,
+            "dropped": 0,
+            "partial": 0,
+            "drifted": 0,
+            "verified": 0,
+            "retries": 0,
+            "forced": 0,
+            "backoff_s": 0.0,
+        }
         node = power_model.node
         self._ladder = FrequencyLadder.from_socket(node.socket)
         # Factory defaults: PL1 = TDP per package; DRAM limited only by
@@ -232,9 +293,149 @@ class RaplInterface:
                 f"node has no {domain.value!r} power domain"
             ) from None
 
-    def set_cap(self, domain: Domain, watts: float | None) -> None:
-        """Program a domain power limit (``None`` clears it)."""
-        self.domain(domain).set_cap(watts)
+    @property
+    def actuation(self) -> ActuationPolicy:
+        """Policy deciding the fate of every routed cap write."""
+        return self._actuation
+
+    @actuation.setter
+    def actuation(self, policy: ActuationPolicy) -> None:
+        self._actuation = policy
+
+    @property
+    def actuation_stats(self) -> dict[str, float]:
+        """Write-path counters: writes, drops, partials, drifts, retries,
+        verified writes, forced (out-of-band) writes, and the total
+        simulated backoff the retry schedule accumulated."""
+        return dict(self._stats)
+
+    def reset_actuation(self) -> None:
+        """Restore perfect actuation and zero the write-path counters."""
+        self._actuation = PERFECT_ACTUATION
+        for key in self._stats:
+            self._stats[key] = 0.0 if key == "backoff_s" else 0
+
+    def set_cap(self, domain: Domain, watts: float | None) -> bool:
+        """Program a domain power limit through the actuation policy.
+
+        ``None`` always clears the limit (removing a cap is a
+        fail-safe operation).  Returns whether the register now holds
+        the requested value — a dropped or partially-applied write
+        returns ``False`` so callers on the verified path know to
+        retry.  A *drifted* write returns ``True``: its readback is
+        correct by construction, only the enforcement is wrong.
+        """
+        reg = self.domain(domain)
+        if watts is None:
+            reg.set_cap(None)
+            return True
+        requested = float(watts)
+        check_non_negative(requested, "cap")
+        self._stats["writes"] += 1
+        result = self._actuation.apply(
+            domain.value, requested, reg.effective_cap_w
+        )
+        if result.kind == "drop":
+            self._stats["dropped"] += 1
+            return False
+        if result.kind == "partial":
+            self._stats["partial"] += 1
+            reg.program(result.enforced_w, result.enforced_w)
+            return False
+        if result.kind == "drift":
+            self._stats["drifted"] += 1
+            reg.program(requested, result.enforced_w)
+            return True
+        reg.set_cap(requested)
+        return True
+
+    def set_cap_verified(
+        self,
+        domain: Domain,
+        watts: float | None,
+        max_retries: int = MAX_CAP_RETRIES,
+    ) -> int:
+        """Write a cap, read it back, and retry until it sticks.
+
+        Mirrors production practice: each failed readback re-issues the
+        write after an exponentially growing backoff (simulated — the
+        delay is accounted in ``actuation_stats['backoff_s']``, never
+        slept).  Returns the number of retries that were needed; raises
+        :class:`~repro.errors.ActuationError` when ``1 + max_retries``
+        attempts all failed verification.  Silent drift passes readback
+        and is *not* retried — catching it is the watchdog's job.
+        """
+        backoff_s = CAP_BACKOFF_INITIAL_S
+        reg = self.domain(domain)
+        for attempt in range(1 + max_retries):
+            self.set_cap(domain, watts)
+            read = reg.cap_w
+            if watts is None:
+                landed = read is None
+            else:
+                landed = (
+                    read is not None
+                    and abs(read - float(watts)) <= CAP_READBACK_TOLERANCE_W
+                )
+            if landed:
+                self._stats["verified"] += 1
+                self._stats["retries"] += attempt
+                return attempt
+            self._stats["backoff_s"] += backoff_s
+            backoff_s *= 2.0
+        self._stats["retries"] += max_retries
+        raise ActuationError(
+            f"{domain.value} cap write of "
+            f"{'None' if watts is None else f'{float(watts):.3f} W'} failed "
+            f"readback verification after {1 + max_retries} attempts",
+            domain=domain.value,
+            requested_w=None if watts is None else float(watts),
+        )
+
+    def write_caps_verified(
+        self,
+        caps_w,
+        max_retries: int = MAX_CAP_RETRIES,
+    ) -> int:
+        """Verified write of a positional ``(pkg, dram[, gpu])`` cap tuple.
+
+        The hardware-class arity convention of the decision stack maps
+        positionally onto :data:`CAP_TUPLE_DOMAINS`.  Returns total
+        retries across the tuple; raises
+        :class:`~repro.errors.ActuationError` as soon as one domain
+        exhausts its budget (caller is responsible for rollback).
+        """
+        retries = 0
+        for dom, watts in zip(CAP_TUPLE_DOMAINS, caps_w):
+            retries += self.set_cap_verified(dom, watts, max_retries=max_retries)
+        return retries
+
+    def force_caps(self, caps_w) -> None:
+        """Out-of-band cap write bypassing the actuation policy.
+
+        Models the BMC/service-processor path real clusters fall back
+        to when the in-band write path is wedged: slower, but it always
+        lands.  Used for transactional rollback and for the watchdog's
+        emergency throttle.
+        """
+        for dom, watts in zip(CAP_TUPLE_DOMAINS, caps_w):
+            self.domain(dom).set_cap(None if watts is None else float(watts))
+            self._stats["forced"] += 1
+
+    def snapshot_caps(self) -> dict[str, tuple[float | None, float | None]]:
+        """Capture every domain's (programmed, enforced) limit pair."""
+        return {
+            d.value: (reg.cap_w, reg.enforced_w)
+            for d, reg in self._domains.items()
+        }
+
+    def restore_caps(
+        self, snapshot: dict[str, tuple[float | None, float | None]]
+    ) -> None:
+        """Out-of-band restore of a :meth:`snapshot_caps` capture."""
+        for name, (readback_w, enforced_w) in snapshot.items():
+            self._domains[Domain(name)].program(readback_w, enforced_w)
+            self._stats["forced"] += 1
 
     def caps(self) -> dict[Domain, float | None]:
         """Currently programmed caps."""

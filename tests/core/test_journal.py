@@ -1,0 +1,122 @@
+"""Tests for the append-only runtime journal."""
+
+import json
+
+import pytest
+
+from repro.core.journal import RECORD_KINDS, RuntimeJournal
+from repro.errors import JournalError
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return tmp_path / "runtime.journal"
+
+
+class TestAppendRead:
+    def test_round_trip_preserves_order_and_floats(self, path):
+        journal = RuntimeJournal(path)
+        # an awkward float: bit-identity demands exact round-tripping
+        journal.append("launch", {"budget_w": 950.1000000000001})
+        journal.append("segment", {"time_s": 0.30000000000000004})
+        journal.close()
+        records = RuntimeJournal.read(path)
+        assert [r["kind"] for r in records] == ["launch", "segment"]
+        assert [r["seq"] for r in records] == [1, 2]
+        assert records[0]["budget_w"] == 950.1000000000001
+        assert records[1]["time_s"] == 0.30000000000000004
+
+    def test_unknown_kind_rejected(self, path):
+        journal = RuntimeJournal(path)
+        with pytest.raises(JournalError) as err:
+            journal.append("reboot", {})
+        assert err.value.path == str(path)
+        assert "reboot" not in RECORD_KINDS
+
+    def test_append_continues_an_existing_log(self, path):
+        first = RuntimeJournal(path)
+        first.append("launch", {})
+        first.close()
+        second = RuntimeJournal(path)
+        assert second.append("segment", {}) == 2
+        second.close()
+        assert [r["seq"] for r in RuntimeJournal.read(path)] == [1, 2]
+
+    def test_durable_journal_fsyncs(self, path):
+        journal = RuntimeJournal(path, durable=True)
+        journal.append("launch", {"budget_w": 1.0})
+        journal.close()
+        assert len(RuntimeJournal.read(path)) == 1
+
+    def test_missing_file_raises_with_path(self, path):
+        with pytest.raises(JournalError) as err:
+            RuntimeJournal.read(path)
+        assert err.value.path == str(path)
+
+
+class TestCorruption:
+    def _write(self, path, lines):
+        path.write_text("".join(line + "\n" for line in lines))
+
+    def test_torn_final_line_is_dropped(self, path):
+        self._write(
+            path,
+            [
+                json.dumps({"seq": 1, "kind": "launch"}),
+                '{"seq": 2, "kind": "segm',  # crash mid-write
+            ],
+        )
+        records = RuntimeJournal.read(path)
+        assert [r["seq"] for r in records] == [1]
+
+    def test_mid_file_corruption_is_an_error(self, path):
+        self._write(
+            path,
+            [
+                json.dumps({"seq": 1, "kind": "launch"}),
+                "{garbage",
+                json.dumps({"seq": 2, "kind": "segment"}),
+            ],
+        )
+        with pytest.raises(JournalError):
+            RuntimeJournal.read(path)
+
+    def test_malformed_record_is_an_error(self, path):
+        self._write(
+            path,
+            [
+                json.dumps({"seq": 1, "kind": "launch"}),
+                json.dumps({"seq": 2, "kind": "meteor_strike"}),
+                json.dumps({"seq": 3, "kind": "segment"}),
+            ],
+        )
+        with pytest.raises(JournalError):
+            RuntimeJournal.read(path)
+
+    def test_seq_regression_is_an_error(self, path):
+        self._write(
+            path,
+            [
+                json.dumps({"seq": 2, "kind": "launch"}),
+                json.dumps({"seq": 1, "kind": "segment"}),
+                json.dumps({"seq": 3, "kind": "segment"}),
+            ],
+        )
+        with pytest.raises(JournalError) as err:
+            RuntimeJournal.read(path)
+        assert "regressed" in str(err.value)
+
+    def test_resumed_log_skips_past_a_torn_tail(self, path):
+        self._write(
+            path,
+            [
+                json.dumps({"seq": 1, "kind": "launch"}),
+                '{"seq": 2, "kind"',
+            ],
+        )
+        # reattaching after the crash: the torn line is ignored but the
+        # next append must not reuse or regress the sequence
+        journal = RuntimeJournal(path)
+        assert journal.append("segment", {}) == 2
+        journal.close()
+        assert [r["seq"] for r in RuntimeJournal.read(path)] == [1, 2]

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core.coordination import measure_node_factors
-from repro.errors import NodeFailureError, SchedulingError, SpecError
+from repro.errors import (
+    NodeFailureError,
+    RuntimeCrashError,
+    SchedulingError,
+    SpecError,
+)
+from repro.hw.rapl import Domain
 from repro.sim.engine import ExecutionConfig
 from repro.sim.faults import FaultEvent, FaultInjector
 from repro.workloads.apps import get_app
@@ -140,3 +146,119 @@ class TestFaultInjector:
         )
         injector.advance_to(0.0)
         assert cluster.node(1).efficiency == pytest.approx(before * 1.3)
+
+    def test_same_timestamp_preserves_script_order(self, cluster):
+        # regression: two events at the same instant must fire in the
+        # order they were written, not in an arbitrary sort order —
+        # fail-then-rebudget and rebudget-then-fail are different
+        # stories and dataclass comparison on the tiebreak used to
+        # blow up (FaultEvent is not orderable)
+        injector = FaultInjector(
+            cluster,
+            [
+                FaultEvent(at_s=2.0, action="fail_node", node_id=1),
+                FaultEvent(at_s=2.0, action="set_budget", budget_w=900.0),
+            ],
+            budget_w=1600.0,
+        )
+        fired = injector.advance_to(2.0)
+        assert [e.action for e in fired] == ["fail_node", "set_budget"]
+
+        cluster.recover_node(1)
+        reversed_order = FaultInjector(
+            cluster,
+            [
+                FaultEvent(at_s=2.0, action="set_budget", budget_w=900.0),
+                FaultEvent(at_s=2.0, action="fail_node", node_id=1),
+            ],
+            budget_w=1600.0,
+        )
+        fired = reversed_order.advance_to(2.0)
+        assert [e.action for e in fired] == ["set_budget", "fail_node"]
+
+
+class TestEnforcementFaultEvents:
+    def test_new_action_validation(self):
+        with pytest.raises(SchedulingError):
+            FaultEvent(at_s=0.0, action="cap_write_fail", factor=0.0)
+        with pytest.raises(SchedulingError):
+            FaultEvent(at_s=0.0, action="cap_write_fail", factor=1.5)
+        with pytest.raises(SchedulingError):
+            FaultEvent(at_s=0.0, action="cap_drift", factor=0.0)
+        with pytest.raises(SchedulingError):
+            FaultEvent(at_s=0.0, action="sensor_noise", factor=-0.1)
+        with pytest.raises(SchedulingError):
+            FaultEvent(at_s=0.0, action="sensor_stale", factor=0.0)
+
+    def test_new_action_describe(self):
+        assert "drop" in FaultEvent(
+            0.0, "cap_write_fail", factor=0.5
+        ).describe()
+        assert "drifts" in FaultEvent(0.0, "cap_drift", factor=0.2).describe()
+        assert "noise" in FaultEvent(
+            0.0, "sensor_noise", node_id=3, factor=0.1
+        ).describe()
+        assert "crash" in FaultEvent(0.0, "crash").describe()
+
+    def test_cap_write_fail_installs_faulty_actuation(self, cluster):
+        injector = FaultInjector(
+            cluster,
+            [FaultEvent(at_s=0.0, action="cap_write_fail", node_id=2,
+                        factor=1.0, seed=9)],
+        )
+        injector.advance_to(0.0)
+        assert cluster.node(2).rapl.set_cap(Domain.PKG, 100.0) is False
+        # untargeted nodes keep perfect actuation
+        assert cluster.node(0).rapl.set_cap(Domain.PKG, 100.0) is True
+
+    def test_cap_drift_targets_all_nodes_by_default(self, cluster):
+        injector = FaultInjector(
+            cluster,
+            [FaultEvent(at_s=0.0, action="cap_drift", factor=0.25)],
+        )
+        injector.advance_to(0.0)
+        for node_id in range(cluster.n_nodes):
+            rapl = cluster.node(node_id).rapl
+            rapl.set_cap(Domain.PKG, 100.0)
+            assert rapl.domain(Domain.PKG).enforced_w == pytest.approx(125.0)
+
+    def test_sensor_faults_install_telemetry(self, cluster):
+        injector = FaultInjector(
+            cluster,
+            [
+                FaultEvent(at_s=0.0, action="sensor_noise", node_id=1,
+                           factor=0.1, seed=4),
+                FaultEvent(at_s=0.0, action="sensor_stale", node_id=1,
+                           factor=2),
+            ],
+        )
+        injector.advance_to(0.0)
+        fault = cluster.node(1).meter.telemetry
+        assert fault is not None
+        assert fault.corrupt(100.0) == pytest.approx(100.0)  # frozen first
+        assert cluster.node(0).meter.telemetry is None
+
+    def test_cluster_reset_clears_installed_faults(self, cluster):
+        injector = FaultInjector(
+            cluster,
+            [FaultEvent(at_s=0.0, action="cap_write_fail", factor=1.0)],
+        )
+        injector.advance_to(0.0)
+        cluster.reset()
+        assert cluster.node(0).rapl.set_cap(Domain.PKG, 100.0) is True
+
+    def test_crash_records_itself_before_raising(self, cluster):
+        injector = FaultInjector(
+            cluster,
+            [
+                FaultEvent(at_s=1.0, action="crash"),
+                FaultEvent(at_s=2.0, action="set_budget", budget_w=900.0),
+            ],
+        )
+        with pytest.raises(RuntimeCrashError):
+            injector.advance_to(5.0)
+        # the crash advanced the cursor past itself: a restored runtime
+        # resuming the same script continues with the *next* event
+        assert [e.action for e in injector.fired] == ["crash"]
+        fired = injector.advance_to(5.0)
+        assert [e.action for e in fired] == ["set_budget"]

@@ -36,6 +36,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["faults", "--policy", "chaotic"])
 
+    def test_faults_chaos_flag(self):
+        args = build_parser().parse_args(["faults", "--chaos"])
+        assert args.chaos
+
+    def test_replay_defaults(self):
+        args = build_parser().parse_args(["replay", "--demo"])
+        assert args.command == "replay"
+        assert args.journal is None
+        assert args.demo
+        args = build_parser().parse_args(["replay", "some.journal"])
+        assert args.journal == "some.journal"
+        assert not args.demo
+
 
 class TestCommands:
     def test_apps_lists_table2(self, capsys):
@@ -104,6 +117,28 @@ class TestCommands:
         assert payload["monitor"]["n_violations"] == 0
         assert payload["monitor"]["n_audits"] > 0
         assert len(payload["events"]) >= 2  # the script actually fired
+
+    def test_faults_chaos_reports_guard_and_actuation(self, capsys):
+        import json
+
+        assert main(["faults", "--chaos", "--iterations", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["monitor"]["n_violations"] == 0
+        assert payload["guard"]["checks"] == len(payload["jobs"])
+        assert payload["actuation"]["writes"] > 0
+
+    def test_replay_without_journal_or_demo_fails(self, capsys):
+        assert main(["replay"]) == 2
+
+    def test_replay_demo_round_trips(self, capsys):
+        import json
+
+        assert main(["replay", "--demo", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["crashed"]
+        assert payload["bit_identical"]
+        assert payload["job"]["done"]
+        assert payload["monitor"]["n_violations"] == 0
 
     def test_compare_subset(self, capsys):
         assert main(["compare", "1400", "--apps", "comd", "sp-mz.C"]) == 0
