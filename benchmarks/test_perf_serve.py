@@ -1,0 +1,57 @@
+"""Perf guard for the ``clip-sched serve`` daemon.
+
+Runs the HTTP load generator against a thread-hosted daemon, records
+the measurements to ``BENCH_serve.json`` at the repository root, and
+enforces the service acceptance bar: sustained decision throughput,
+bounded per-decision overhead over bare ``schedule_many``, and a clean
+budget-audit ledger under concurrent load.
+"""
+
+from bench_serve import run_serve_bench
+
+#: The daemon must sustain at least this many decisions per second
+#: under saturated concurrent load (ISSUE 9 acceptance floor).
+MIN_SUSTAINED_RATE = 500.0
+#: Warm per-decision service cost (HTTP + coalescing + records) may be
+#: at most this multiple of bare ``schedule_many`` on the same mix.
+MAX_SERVICE_OVERHEAD = 3.0
+
+
+def test_serve_throughput_and_overhead(report):
+    payload = run_serve_bench()
+    bare = payload["bare_schedule_many"]
+    paced = payload["paced"]
+    saturated = payload["saturated"]
+    daemon = payload["daemon"]
+
+    lines = [
+        "clip-sched serve — HTTP load generator "
+        f"({paced['threads']} clients, bursts of {paced['batch_size']})",
+        f"  bare     : {bare['per_decision_s'] * 1e3:8.3f} ms/decision "
+        f"(schedule_many, {bare['decisions']} decisions)",
+        f"  paced    : {paced['achieved_rate']:8.0f} decisions/s offered "
+        f"{paced['target_rate']:.0f} "
+        f"(burst p50 {paced['burst_latency_p50_ms']:.1f} ms, "
+        f"p95 {paced['burst_latency_p95_ms']:.1f} ms)",
+        f"  saturated: {saturated['decisions_per_s']:8.0f} decisions/s "
+        f"({saturated['decisions']} decisions, "
+        f"{saturated['per_decision_s'] * 1e3:.3f} ms each, "
+        f"{payload['service_overhead']:.2f}x bare)",
+        f"  coalescing: {daemon['bursts']} bursts, "
+        f"mean {daemon['mean_burst']:.1f} jobs, max {daemon['max_burst']}",
+        f"  audits: {daemon['audits']} "
+        f"(violations {daemon['audit_violations']})",
+    ]
+    report("perf_serve", "\n".join(lines))
+
+    # Correctness first: every submission decided, none failed or
+    # rejected, and no budget-invariant violation under load.
+    assert daemon["decided"] == daemon["submitted"], daemon
+    assert daemon["failed"] == 0, daemon
+    assert daemon["rejected"] == 0, daemon
+    assert daemon["audit_violations"] == 0, daemon
+    # Concurrent submissions actually coalesced into multi-job bursts.
+    assert daemon["mean_burst"] > 1.0, daemon
+    # The acceptance bar.
+    assert saturated["decisions_per_s"] >= MIN_SUSTAINED_RATE, payload
+    assert payload["service_overhead"] <= MAX_SERVICE_OVERHEAD, payload

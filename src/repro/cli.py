@@ -18,7 +18,12 @@ Subcommands mirror the framework's helper tools (§IV-B):
 * ``replay``    — rebuild a runtime from its journal and print the
   recovered state; ``--demo`` runs the full crash-recovery story
   (journaled run, scripted crash, restore, bit-identity check,
-  resume).
+  resume);
+* ``serve``     — run the long-lived scheduling daemon: an asyncio
+  HTTP/JSON API (submit-job, query-decision, update-budget,
+  stream-telemetry) that coalesces concurrent submissions into
+  ``schedule_many`` bursts, with admission control and per-tenant
+  budget quotas.
 
 Commands default to the simulated 8-node Haswell testbed; the
 ``schedule``, ``run``, ``compare`` and ``faults`` subcommands accept
@@ -184,6 +189,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the recovered state as JSON",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the scheduling daemon (HTTP/JSON, burst coalescing)",
+    )
+    add_testbed(p)
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8587,
+        help="TCP port (default 8587; 0 picks an ephemeral port)",
+    )
+    p.add_argument(
+        "--budget", type=float, default=1400.0,
+        help="initial cluster power budget (W, default 1400)",
+    )
+    p.add_argument(
+        "--window-ms", type=float, default=0.0,
+        help="coalescing window in ms (default 0: pure drain batching "
+        "— whatever queued while the previous burst decided)",
+    )
+    p.add_argument(
+        "--max-burst", type=int, default=512,
+        help="largest burst handed to schedule_many (default 512)",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=4096,
+        help="admission control: queued-job bound (default 4096)",
+    )
+    p.add_argument(
+        "--quota",
+        action="append",
+        default=[],
+        metavar="TENANT=WATTS[:MAX_PENDING]",
+        help="per-tenant budget quota (repeatable); the tenant's jobs "
+        "are planned under min(service budget, WATTS), with at most "
+        "MAX_PENDING queued at once",
+    )
+    p.add_argument(
+        "--knowledge",
+        default=None,
+        help="knowledge-DB JSON path: loaded at startup (corrupt or "
+        "missing files degrade to profiling from scratch) and saved "
+        "on clean shutdown",
     )
 
     p = sub.add_parser(
@@ -630,6 +679,60 @@ def cmd_replay(args) -> int:
         return 0 if identical and job2.done and not audit["n_violations"] else 1
 
 
+def cmd_serve(args) -> int:
+    from repro.core.knowledge import KnowledgeDB
+    from repro.core.scheduler import ClipScheduler as _Clip
+    from repro.serve import SchedulerService, ServeDaemon, TenantQuota
+
+    # fail on bad quota specs before the expensive predictor training
+    quotas = dict(TenantQuota.parse(spec) for spec in args.quota)
+    engine = _engine(args.seed, args.testbed, args.racks)
+    knowledge = None
+    if args.knowledge:
+        knowledge = KnowledgeDB.load_or_fresh(args.knowledge)
+        if knowledge.load_error is not None:
+            print(
+                f"warning: {knowledge.load_error} — starting with an "
+                "empty knowledge DB",
+                file=sys.stderr,
+            )
+    print("Training CLIP's inflection predictor...", file=sys.stderr)
+    clip = _Clip(
+        engine,
+        inflection=build_trained_inflection(engine),
+        knowledge=knowledge,
+    )
+    service = SchedulerService(
+        clip, args.budget, max_pending=args.max_pending, quotas=quotas
+    )
+    daemon = ServeDaemon(
+        service,
+        host=args.host,
+        port=args.port,
+        window_s=args.window_ms / 1e3,
+        max_burst=args.max_burst,
+    )
+    print(
+        f"clip-sched serve: budget {args.budget:.0f} W, testbed "
+        f"{args.testbed}, window {args.window_ms:g} ms — listening on "
+        f"http://{args.host}:{args.port or '<ephemeral>'} "
+        "(Ctrl-C or SIGTERM stops)",
+        file=sys.stderr,
+    )
+    daemon.run()
+    stats = service.stats()
+    if args.knowledge:
+        clip.knowledge.save(args.knowledge)
+        print(f"knowledge DB saved to {args.knowledge}", file=sys.stderr)
+    print(
+        f"served {stats['decided']} decisions in {stats['bursts']} bursts "
+        f"({stats['rejected']} rejected, "
+        f"{stats['audit_violations']} audit violations)",
+        file=sys.stderr,
+    )
+    return 0 if stats["audit_violations"] == 0 else 1
+
+
 def cmd_report(args) -> int:
     from repro.analysis.report import assemble_report
 
@@ -649,6 +752,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "faults": cmd_faults,
         "replay": cmd_replay,
+        "serve": cmd_serve,
         "report": cmd_report,
     }[args.command]
     try:

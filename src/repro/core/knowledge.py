@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -44,9 +45,20 @@ class KnowledgeEntry:
 
 
 class KnowledgeDB:
-    """In-memory knowledge database with JSON persistence."""
+    """In-memory knowledge database with JSON persistence.
+
+    The database is shared mutable state — the serve daemon's request
+    handlers, the coalescer's decision thread, and periodic
+    persistence all touch it concurrently — so every entry-map access
+    goes through an internal :class:`threading.RLock`.  Reads on the
+    warm path cost one uncontended acquisition; :meth:`save` snapshots
+    the entries under the lock and serializes *outside* it, so a save
+    can never observe a half-applied :meth:`put` or die with
+    "dictionary changed size during iteration".
+    """
 
     def __init__(self):
+        self._lock = threading.RLock()
         self._entries: dict[tuple[str, str], KnowledgeEntry] = {}
         self._load_error: KnowledgeBaseError | None = None
 
@@ -56,23 +68,28 @@ class KnowledgeDB:
         return self._load_error
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple[str, str]) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def has(self, app_name: str, problem_size: str) -> bool:
         """Whether the application+input has been profiled before."""
-        return (app_name, problem_size) in self._entries
+        with self._lock:
+            return (app_name, problem_size) in self._entries
 
     def put(self, entry: KnowledgeEntry) -> None:
         """Insert or replace an entry."""
-        self._entries[entry.key] = entry
+        with self._lock:
+            self._entries[entry.key] = entry
 
     def get(self, app_name: str, problem_size: str) -> KnowledgeEntry:
         """Fetch an entry; raises on a miss."""
         try:
-            return self._entries[(app_name, problem_size)]
+            with self._lock:
+                return self._entries[(app_name, problem_size)]
         except KeyError:
             raise KnowledgeBaseError(
                 f"no knowledge for {app_name!r} / {problem_size!r}"
@@ -80,7 +97,8 @@ class KnowledgeDB:
 
     def keys(self) -> tuple[tuple[str, str], ...]:
         """All recorded (name, size) keys."""
-        return tuple(sorted(self._entries))
+        with self._lock:
+            return tuple(sorted(self._entries))
 
     # ------------------------------------------------------------------
     # persistence
@@ -92,9 +110,13 @@ class KnowledgeDB:
         The payload is written to a temporary file in the target
         directory and moved into place with :func:`os.replace`, so a
         crash mid-save leaves either the old database or the new one —
-        never a truncated file.
+        never a truncated file.  Safe to call while other threads keep
+        profiling: the entry list is snapshotted under the lock and the
+        (slow) JSON serialization runs outside it.
         """
         path = Path(path)
+        with self._lock:
+            entries = list(self._entries.values())
         payload = {
             "version": SCHEMA_VERSION,
             "entries": [
@@ -102,7 +124,7 @@ class KnowledgeDB:
                     "inflection_point": e.inflection_point,
                     "profile": _profile_to_dict(e.profile),
                 }
-                for e in self._entries.values()
+                for e in entries
             ],
         }
         fd, tmp_name = tempfile.mkstemp(

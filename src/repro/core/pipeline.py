@@ -36,6 +36,7 @@ a test greps the consumer modules to keep it that way.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 
@@ -126,38 +127,75 @@ class ModelBundleCache:
     the one in the knowledge DB (re-profiling an app invalidates its
     bundles).  The ``hits`` / ``misses`` counters let tests assert the
     warm path builds each bundle exactly once.
+
+    The cache is shared by every pipeline consumer, including the
+    ``clip-sched serve`` request handlers, so all state transitions
+    happen under an internal :class:`threading.RLock`: the
+    check-fit-insert sequence in :meth:`get_or_build` is atomic
+    (concurrent requests for the same cold key fit the models exactly
+    once, the losers block briefly and reuse the winner's bundle) and
+    the ``hits`` / ``misses`` counters cannot lose increments.  The
+    single-threaded warm path pays one uncontended lock acquisition,
+    which is noise next to the allocator work a decision does.
     """
 
     def __init__(self):
+        self._lock = threading.RLock()
         self._bundles: dict[tuple[str, str, str], ModelBundle] = {}
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._bundles)
+        with self._lock:
+            return len(self._bundles)
 
     def get_or_build(self, entry: KnowledgeEntry, node: NodeSpec) -> ModelBundle:
         """Return the entry's bundle for *node*'s class, fitting the
-        models on first use."""
+        models on first use (atomic: exactly one fit per cold key even
+        under concurrent callers)."""
         key = entry.key + (node.name,)
-        cached = self._bundles.get(key)
-        if cached is not None and (
-            cached.entry is entry or cached.entry == entry
-        ):
-            self.hits += 1
-            return cached
-        self.misses += 1
-        bundle = ModelBundle.from_entry(entry, node)
-        self._bundles[key] = bundle
-        return bundle
+        with self._lock:
+            cached = self._bundles.get(key)
+            if cached is not None and (
+                cached.entry is entry or cached.entry == entry
+            ):
+                self.hits += 1
+                return cached
+            self.misses += 1
+            bundle = ModelBundle.from_entry(entry, node)
+            self._bundles[key] = bundle
+            return bundle
 
     def invalidate(self, key: tuple[str, str] | None = None) -> None:
-        """Drop one entry's bundles (every class) or everything."""
+        """Drop one entry's bundles (every class) or everything.
+
+        *key* is the knowledge-DB key, ``(app_name, problem_size)``;
+        any 2-element sequence is accepted and normalized.  Passing a
+        full 3-element bundle key (or anything else) raises
+        :class:`ValueError` instead of silently matching nothing.
+        """
         if key is None:
-            self._bundles.clear()
-        else:
-            for k in [k for k in self._bundles if k[:2] == tuple(key)]:
+            with self._lock:
+                self._bundles.clear()
+            return
+        key = tuple(key)
+        if len(key) != 2:
+            raise ValueError(
+                "invalidate expects the knowledge key (app_name, "
+                f"problem_size); got {key!r}"
+            )
+        with self._lock:
+            for k in [k for k in self._bundles if k[:2] == key]:
                 self._bundles.pop(k, None)
+
+    def stats(self) -> dict:
+        """One consistent snapshot of the cache counters."""
+        with self._lock:
+            return {
+                "bundles": len(self._bundles),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
 
 # ----------------------------------------------------------------------
@@ -517,17 +555,21 @@ class FitModelsStage:
     def __init__(self, cache: ModelBundleCache, node: NodeSpec):
         self._cache = cache
         self._node = node
+        # stage instances are shared across concurrent pipeline passes
+        # (the serve daemon's handlers), so the only per-pass scratch —
+        # whether this pass fitted or reused — lives in a thread-local
+        self._scratch = threading.local()
 
     def run(self, ctx: DecisionContext) -> DecisionContext:
         """Fill ``ctx.bundle`` from the shared cache."""
         was_built = self._cache.misses
         bundle = self._cache.get_or_build(ctx.entry, self._node)
-        self._fitted = self._cache.misses > was_built
+        self._scratch.fitted = self._cache.misses > was_built
         return replace(ctx, bundle=bundle)
 
     def outputs(self, ctx: DecisionContext) -> dict:
         """Trace summary of this stage's products."""
-        return {"bundle_cached": not self._fitted}
+        return {"bundle_cached": not getattr(self._scratch, "fitted", False)}
 
 
 class AllocateStage:
@@ -1015,8 +1057,12 @@ class DecisionPipeline:
 
         Duplicate ``(app, problem_size)`` submissions collapse to a
         single pipeline pass (the queue workload: many arrivals of few
-        distinct applications), and each job's profiling samples ride
-        the vectorized batch-evaluation engine path.
+        distinct applications).  Every submission still gets its *own*
+        :class:`SchedulingDecision`: the memoized decision is re-issued
+        via :func:`dataclasses.replace` with a fresh ``phase_threads``
+        dict, so mutating one queued job's phase overrides (the dict is
+        the decision's only mutable field) can never leak into the
+        other submissions that happened to share a pipeline pass.
         """
         memo: dict[tuple[str, str], SchedulingDecision] = {}
         out: list[SchedulingDecision] = []
@@ -1031,5 +1077,9 @@ class DecisionPipeline:
                     allocation_mode=allocation_mode,
                 )
                 memo[key] = decision
+            else:
+                decision = replace(
+                    decision, phase_threads=dict(decision.phase_threads)
+                )
             out.append(decision)
         return out

@@ -26,6 +26,8 @@ __all__ = [
     "ActuationError",
     "JournalError",
     "RuntimeCrashError",
+    "ServeError",
+    "AdmissionError",
 ]
 
 
@@ -147,6 +149,32 @@ class RuntimeCrashError(ClipError):
     that :meth:`~repro.core.runtime.PowerBoundedRuntime.restore` can
     rebuild the exact pre-crash state from the journal alone.
     """
+
+
+class ServeError(ClipError):
+    """The scheduling service rejected a request or call.
+
+    Raised by the ``clip-sched serve`` daemon's service layer for
+    malformed submissions and by :class:`~repro.serve.client.ServeClient`
+    when the daemon answers with an error status (carried as
+    ``status``, ``None`` for client-side failures).
+    """
+
+    def __init__(self, message: str, status: "int | None" = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class AdmissionError(ServeError):
+    """Admission control turned a submission away (HTTP 429).
+
+    ``tenant`` names the quota that was exhausted — ``None`` means the
+    service-wide pending bound, not a per-tenant one.
+    """
+
+    def __init__(self, message: str, tenant: "str | None" = None) -> None:
+        super().__init__(message, status=429)
+        self.tenant = tenant
 
 
 #: Preferred alias for :class:`KnowledgeBaseError` (the persistence layer

@@ -1,0 +1,270 @@
+"""Concurrency regression suite for the shared decision caches.
+
+The ``clip-sched serve`` daemon makes the shared
+:class:`~repro.core.pipeline.ModelBundleCache` and
+:class:`~repro.core.knowledge.KnowledgeDB` reachable from multiple
+threads at once.  These tests pin the defects that surfaced when the
+daemon was stood up — and would fail on the pre-fix code:
+
+* ``decide_many`` memoized duplicate submissions by returning the
+  *same* decision object, aliasing its mutable ``phase_threads`` dict
+  across jobs;
+* ``ModelBundleCache.get_or_build`` raced its check-fit-insert
+  sequence (duplicate model fits, corrupted hit/miss counters) and
+  ``invalidate`` silently matched nothing for malformed keys;
+* ``KnowledgeDB.save`` iterated the live entry dict, dying with
+  "dictionary changed size during iteration" under concurrent
+  profiling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.knowledge import KnowledgeDB, KnowledgeEntry
+from repro.core.pipeline import ModelBundleCache
+from repro.core.scheduler import ClipScheduler
+from repro.workloads.apps import get_app
+
+APPS = ("comd", "minimd", "sp-mz.C", "tealeaf")
+BUDGETS = (1000.0, 1400.0, 1800.0)
+
+
+@pytest.fixture()
+def warm_clip(engine, trained_inflection):
+    """A scheduler with every test app already profiled and fitted."""
+    clip = ClipScheduler(engine, inflection=trained_inflection)
+    for name in APPS:
+        clip.schedule(get_app(name), 1400.0)
+    return clip
+
+
+def _hammer(n_threads: int, fn) -> list:
+    """Run *fn(i)* across threads; re-raise the first worker error."""
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        return [f.result() for f in [pool.submit(fn, i) for i in range(n_threads)]]
+
+
+class TestConcurrentScheduling:
+    """ThreadPoolExecutor hammering the warm decision path."""
+
+    def test_warm_hammer_exactly_once_fits(self, warm_clip):
+        """Concurrent warm schedules fit nothing new and lose no
+        counter increments (pre-fix: ``hits += 1`` raced)."""
+        cache = warm_clip.pipeline.bundle_cache
+        before = cache.stats()
+        rounds = 25
+
+        def worker(i):
+            out = []
+            for r in range(rounds):
+                app = get_app(APPS[(i + r) % len(APPS)])
+                out.append(warm_clip.schedule(app, BUDGETS[r % len(BUDGETS)]))
+            return out
+
+        results = _hammer(8, worker)
+        after = cache.stats()
+        assert after["misses"] == before["misses"]  # nothing re-fitted
+        # one bundle lookup per decision, none lost
+        assert after["hits"] - before["hits"] == 8 * rounds
+        warm_clip.monitor.assert_clean()
+        # every thread got real, in-budget decisions
+        for out in results:
+            for d in out:
+                assert d.total_capped_w <= d.cluster_budget_w + 1e-6
+
+    def test_schedule_many_under_invalidation(self, warm_clip):
+        """Bursts keep deciding correctly while entries are re-profiled
+        and their bundles invalidated from another thread."""
+        kb = warm_clip.knowledge
+        cache = warm_clip.pipeline.bundle_cache
+        entries = {
+            name: kb.get(name, get_app(name).problem_size) for name in APPS
+        }
+        stop = threading.Event()
+
+        def churner():
+            while not stop.is_set():
+                for entry in entries.values():
+                    # simulate a re-profile: replace the entry with an
+                    # equal one and drop its fitted bundles
+                    kb.put(KnowledgeEntry(entry.profile, entry.inflection_point))
+                    cache.invalidate(entry.key)
+                # yield the GIL so the workers make progress (a hot
+                # invalidation loop starves them into refitting every
+                # decision, which tests patience, not correctness)
+                time.sleep(0.001)
+
+        churn = threading.Thread(target=churner)
+        churn.start()
+        try:
+            expected = {
+                (name, b): warm_clip.schedule(get_app(name), b)
+                for name in APPS
+                for b in BUDGETS
+            }
+
+            def worker(i):
+                jobs = [get_app(APPS[(i + k) % len(APPS)]) for k in range(8)]
+                for budget in BUDGETS:
+                    for job, decision in zip(
+                        jobs, warm_clip.schedule_many(jobs, budget)
+                    ):
+                        assert decision == expected[(job.name, budget)]
+
+            _hammer(4, worker)
+        finally:
+            stop.set()
+            churn.join()
+        warm_clip.monitor.assert_clean()
+
+    def test_interleaved_schedule_and_schedule_many(self, warm_clip):
+        """Mixed single and batch entry points from many threads."""
+
+        def worker(i):
+            if i % 2:
+                jobs = [get_app(APPS[k % len(APPS)]) for k in range(10)]
+                return warm_clip.schedule_many(jobs, 1400.0)
+            return [
+                warm_clip.schedule(get_app(APPS[k % len(APPS)]), 1400.0)
+                for k in range(10)
+            ]
+
+        results = _hammer(8, worker)
+        baseline = [
+            warm_clip.schedule(get_app(APPS[k % len(APPS)]), 1400.0)
+            for k in range(10)
+        ]
+        for out in results:
+            assert out == baseline
+        warm_clip.monitor.assert_clean()
+
+
+class TestBundleCacheThreadSafety:
+    def test_cold_key_fits_exactly_once(self, warm_clip, node_spec):
+        """A cold key hit by many simultaneous threads builds one
+        bundle (pre-fix: each racer fitted its own)."""
+        cache = ModelBundleCache()
+        entry = warm_clip.knowledge.get("comd", get_app("comd").problem_size)
+        barrier = threading.Barrier(16)
+
+        def worker(_):
+            barrier.wait()
+            return cache.get_or_build(entry, node_spec)
+
+        bundles = _hammer(16, worker)
+        assert cache.misses == 1
+        assert cache.hits == 15
+        assert all(b is bundles[0] for b in bundles)
+
+    def test_invalidate_accepts_knowledge_key(self, warm_clip, node_spec):
+        """``invalidate`` takes the documented (app, size) key — as a
+        tuple or any 2-sequence — and rejects anything else instead of
+        silently matching nothing."""
+        cache = ModelBundleCache()
+        entry = warm_clip.knowledge.get("comd", get_app("comd").problem_size)
+        key = entry.key
+        cache.get_or_build(entry, node_spec)
+        assert len(cache) == 1
+        cache.invalidate(list(key))  # list form normalizes
+        assert len(cache) == 0
+        cache.get_or_build(entry, node_spec)
+        with pytest.raises(ValueError):
+            cache.invalidate(key[:1])
+        with pytest.raises(ValueError):
+            cache.invalidate(key + (node_spec.name,))
+        assert len(cache) == 1  # rejected calls dropped nothing
+        cache.invalidate(key)
+        assert len(cache) == 0
+
+    def test_counter_integrity_under_contention(self, warm_clip, node_spec):
+        """hits/misses stay exact across heavy mixed traffic."""
+        cache = ModelBundleCache()
+        entries = [
+            warm_clip.knowledge.get(name, get_app(name).problem_size)
+            for name in APPS
+        ]
+        per_thread = 200
+
+        def worker(i):
+            for k in range(per_thread):
+                cache.get_or_build(entries[(i + k) % len(entries)], node_spec)
+
+        _hammer(8, worker)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * per_thread
+        assert stats["misses"] == len(entries)
+        assert stats["bundles"] == len(entries)
+
+
+class TestKnowledgeDBThreadSafety:
+    def test_save_while_putting(self, warm_clip, tmp_path):
+        """``save`` under concurrent ``put`` traffic neither crashes
+        nor writes a torn file (pre-fix: dict-changed-size during the
+        entry iteration)."""
+        src = warm_clip.knowledge.get("comd", get_app("comd").problem_size)
+        db = KnowledgeDB()
+        db.put(src)
+        path = tmp_path / "kb.json"
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                # cycle a bounded key space: the point is concurrent
+                # mutation during save, not an ever-growing database
+                profile = dataclasses.replace(
+                    src.profile, problem_size=f"size-{i % 64}"
+                )
+                db.put(KnowledgeEntry(profile, src.inflection_point))
+                i += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(20):
+                db.save(path)
+                loaded = KnowledgeDB.load(path)
+                assert src.key in loaded
+        except Exception as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors
+        assert len(KnowledgeDB.load(path)) >= 1
+
+
+class TestDecideManyAliasing:
+    """The duplicate-submission memoization must not alias decisions."""
+
+    def test_duplicates_get_independent_phase_threads(self, warm_clip):
+        app = get_app("comd")
+        decisions = warm_clip.schedule_many([app, app, app], 1400.0)
+        assert decisions[0] == decisions[1] == decisions[2]
+        # distinct objects, distinct dicts
+        assert decisions[0] is not decisions[1]
+        assert decisions[1] is not decisions[2]
+        assert decisions[0].phase_threads is not decisions[1].phase_threads
+        # the regression: mutating one queued job's overrides must not
+        # leak into its burst-mates
+        decisions[0].phase_threads["main"] = 1
+        assert "main" not in decisions[1].phase_threads
+        assert "main" not in decisions[2].phase_threads
+        # and the next burst starts clean
+        fresh = warm_clip.schedule_many([app, app], 1400.0)
+        assert "main" not in fresh[0].phase_threads
+        assert "main" not in fresh[1].phase_threads
+
+    def test_execution_configs_do_not_share_overrides(self, warm_clip):
+        app = get_app("comd")
+        a, b = warm_clip.schedule_many([app, app], 1400.0)
+        cfg_a = a.to_execution_config()
+        cfg_a.phase_threads["main"] = 2
+        assert "main" not in b.to_execution_config().phase_threads

@@ -195,8 +195,13 @@ class TestScheduleMany:
         assert len(batch) == 3
         assert batch[0] == warm_clip.schedule(get_app("comd"), 1400.0)
         assert batch[1] == warm_clip.schedule(get_app("sp-mz.C"), 1400.0)
-        # duplicate submissions share one decision object
-        assert batch[2] is batch[0]
+        # duplicate submissions share one pipeline pass (equal plans)
+        # but each gets its own decision with independent phase_threads
+        # — see tests/core/test_concurrency.py for the aliasing
+        # regression this prevents
+        assert batch[2] == batch[0]
+        assert batch[2] is not batch[0]
+        assert batch[2].phase_threads is not batch[0].phase_threads
 
     def test_batch_profiles_each_app_once(self, engine, trained_inflection):
         clip = ClipScheduler(engine, inflection=trained_inflection)
