@@ -236,6 +236,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "learn",
+        help="closed-loop learning: per-app decision-quality report",
+    )
+    add_testbed(p)
+    p.add_argument(
+        "--report",
+        action="store_true",
+        help="print the per-app decision-quality table (the default "
+        "action; present for explicitness in scripts)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of a table",
+    )
+    p.add_argument(
+        "--knowledge",
+        default=None,
+        metavar="PATH",
+        help="read observation history from a saved knowledge DB "
+        "instead of running the demo campaign",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=24,
+        help="demo campaign length when no --knowledge is given "
+        "(default 24 learning-on decisions)",
+    )
+    p.add_argument(
+        "--budget",
+        type=float,
+        default=1400.0,
+        help="cluster budget for the demo campaign (default 1400 W)",
+    )
+
+    p = sub.add_parser(
         "report", help="assemble the reproduction report from benchmark artifacts"
     )
     p.add_argument(
@@ -733,6 +770,94 @@ def cmd_serve(args) -> int:
     return 0 if stats["audit_violations"] == 0 else 1
 
 
+def cmd_learn(args) -> int:
+    """Per-app decision-quality report from the learning layer.
+
+    With ``--knowledge`` the report reads a saved database's
+    observation history; without it a short learning-on campaign runs
+    on the simulated testbed first (scheduler decisions executed and
+    fed back through the outcome choke point), so the command
+    demonstrates the whole closed loop out of the box.
+    """
+    from repro.core.knowledge import KnowledgeDB
+    from repro.core.learning import LearningConfig
+
+    stats = None
+    if args.knowledge:
+        kb = KnowledgeDB.load(args.knowledge)
+        source = args.knowledge
+    else:
+        engine = _engine(args.seed, args.testbed, args.racks)
+        print(
+            f"Running a {args.jobs}-decision learning-on campaign...",
+            file=sys.stderr,
+        )
+        clip = ClipScheduler(
+            engine,
+            inflection=build_trained_inflection(engine),
+            learning=LearningConfig(enabled=True),
+        )
+        # rotate a small app set so entries accumulate enough
+        # observations for the refit policy to act within the demo
+        apps = all_apps()[:4]
+        for i in range(args.jobs):
+            clip.run(apps[i % len(apps)], args.budget, iterations=2)
+        kb = clip.knowledge
+        stats = clip.pipeline.learning_stats()
+        source = "demo campaign"
+
+    rows = []
+    entries = []
+    for key in kb.keys():
+        entry = kb.get(*key)
+        for cell in entry.quality_cells():
+            rows.append(
+                [
+                    entry.profile.app_name,
+                    entry.profile.problem_size,
+                    f"{cell.band_w:.0f}",
+                    str(cell.n),
+                    str(entry.model_version),
+                    f"{cell.mean_abs_time_error * 100:.1f}%",
+                    f"{cell.mean_abs_power_error * 100:.1f}%",
+                    f"{cell.score:.3f}",
+                ]
+            )
+            entries.append(cell.to_dict())
+    if args.json:
+        payload = {"source": source, "cells": entries}
+        if stats is not None:
+            payload["learning"] = stats
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print(f"no observations recorded in {source}")
+        return 0
+    print(
+        render_table(
+            [
+                "app",
+                "input",
+                "band (W)",
+                "obs",
+                "model v",
+                "time err",
+                "power err",
+                "score",
+            ],
+            rows,
+            title=f"Decision quality ({source})",
+        )
+    )
+    if stats is not None:
+        print(
+            f"outcomes={stats['outcomes']} refits={stats['refits']} "
+            f"explorations={stats['explorations']} "
+            f"inflection_refits={stats['inflection_refits']}"
+        )
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.analysis.report import assemble_report
 
@@ -753,6 +878,7 @@ def main(argv: list[str] | None = None) -> int:
         "faults": cmd_faults,
         "replay": cmd_replay,
         "serve": cmd_serve,
+        "learn": cmd_learn,
         "report": cmd_report,
     }[args.command]
     try:

@@ -189,6 +189,18 @@ class PowerBoundedJobQueue:
                     ),
                 )
             result = engine.run(app, config)
+            flags = []
+            if faults is not None:
+                flags.append("faults")
+            if guard is not None:
+                flags.append("guard")
+            self._scheduler.pipeline.record_outcome(
+                app,
+                decision=decision,
+                result=result,
+                source="jobqueue.sequential",
+                flags=tuple(flags),
+            )
             if guard is not None:
                 budget_now, _ = self._poll_faults(faults, now, budget)
                 guard.observe(self._measured_w(result), budget_now)
@@ -225,7 +237,31 @@ class PowerBoundedJobQueue:
                     sum(self._measured_w(r) for _, r in results), budget_now
                 )
             batch_time = max(r.total_time_s for _, r in results)
+            by_name = {a.name: a for a in batch}
             for placement, result in results:
+                app = by_name.get(placement.app_name)
+                if app is not None:
+                    # co-scheduled shares get their own observations:
+                    # predicted perf scales the per-node config across
+                    # the placement's node share
+                    self._scheduler.pipeline.record_outcome(
+                        app,
+                        predicted_perf=(
+                            placement.config.predicted_perf
+                            * placement.n_nodes
+                        ),
+                        measured_perf=result.performance,
+                        measured_power_w=(
+                            result.energy_j / result.total_time_s
+                            if result.total_time_s > 0
+                            else None
+                        ),
+                        budget_w=placement.budget_w,
+                        n_nodes=placement.n_nodes,
+                        n_threads=placement.config.n_threads,
+                        source="jobqueue.coscheduled",
+                        flags=("coscheduled",),
+                    )
                 out.append(
                     CompletedJob(
                         app_name=placement.app_name,

@@ -1,0 +1,193 @@
+"""Closed-loop learning policies (ROADMAP item 3).
+
+CLIP's models are fitted once from the smart-profiling pass; this
+module holds the policy layer that lets them improve from execution
+history without touching the fit-once math:
+
+* :func:`fit_calibration` — least-squares per-segment multiplicative
+  correction of predicted iteration time from an entry's
+  :class:`~repro.core.knowledge.ObservationRecord` history.  The scale
+  family contains the identity, so the fitted calibration can never be
+  worse than no calibration on the observations it was fitted to (a
+  property test pins this).
+* :class:`RefitPolicy` — when the observation count, staleness, and
+  misprediction error justify refitting an entry's models.
+* :class:`LearningConfig` — the master switch plus the epsilon-greedy
+  exploration knobs.  **Disabled by default**: a learning-off
+  deployment records history but never changes a decision, which the
+  golden suites enforce bit-for-bit.
+* :func:`empirical_best_nodes` / :func:`empirical_best_concurrency` —
+  measured-performance argmax over the configurations a cell has
+  actually executed, the exploitation side of the bandit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.knowledge import KnowledgeEntry, ObservationRecord
+from repro.core.perfmodel import TimeCalibration
+
+__all__ = [
+    "RefitPolicy",
+    "LearningConfig",
+    "fit_calibration",
+    "empirical_best_nodes",
+    "empirical_best_concurrency",
+]
+
+#: Sanity clamp on learned time scales; the identity sits inside the
+#: interval, so clamping preserves the never-worse-than-unit property.
+MIN_SCALE = 0.1
+MAX_SCALE = 10.0
+
+
+@dataclass(frozen=True)
+class RefitPolicy:
+    """When accumulated outcomes justify refitting an entry's models.
+
+    ``min_observations`` — observations recorded *against the current
+    model version* before its error estimate is trusted;
+    ``refit_interval`` — staleness floor: total observations that must
+    accumulate between refits (keeps a noisy cell from thrashing the
+    bundle cache); ``error_threshold`` — mean absolute relative
+    time-prediction error above which the model is considered wrong
+    enough to refit.
+    """
+
+    min_observations: int = 4
+    refit_interval: int = 4
+    error_threshold: float = 0.05
+
+    def should_refit(self, entry: KnowledgeEntry) -> bool:
+        """Whether *entry*'s current models have earned a refit."""
+        if entry.observed_total - entry.refit_at < self.refit_interval:
+            return False
+        current = [
+            o
+            for o in entry.observations
+            if o.model_version == entry.model_version
+        ]
+        if len(current) < self.min_observations:
+            return False
+        window = current[-self.min_observations :]
+        err = sum(abs(o.rel_time_error) for o in window) / len(window)
+        return err > self.error_threshold
+
+
+@dataclass(frozen=True)
+class LearningConfig:
+    """The learning layer's switchboard (off by default).
+
+    ``epsilon`` — probability of exploring a near-tie alternative while
+    a cell's confidence is low; ``tie_margin`` — predicted-performance
+    slack defining "near tie"; ``confident_observations`` — cell
+    observation count at which exploration stops;
+    ``min_config_observations`` — evidence floor per configuration
+    before exploitation may prefer it; ``exploit_margin`` — measured
+    advantage a challenger needs over the model's choice;  ``seed`` —
+    the exploration RNG seed (decisions are reproducible runs of the
+    same campaign).
+    """
+
+    enabled: bool = False
+    epsilon: float = 0.2
+    tie_margin: float = 0.1
+    confident_observations: int = 4
+    min_config_observations: int = 2
+    exploit_margin: float = 0.02
+    seed: int = 2017
+    refit: RefitPolicy = field(default_factory=RefitPolicy)
+
+
+def fit_calibration(
+    observations: Iterable[ObservationRecord],
+    inflection_point: int | None,
+) -> TimeCalibration:
+    """Least-squares per-segment time correction from outcome history.
+
+    For each model segment (thread counts at/below the inflection
+    point vs. above it) the scale minimizing
+    ``sum((s * predicted - measured)^2)`` is ``s* = Σpm / Σp²``; a
+    segment with no evidence keeps the identity.  Because the quadratic
+    error is monotone toward ``s*`` from either side and the clamp
+    interval contains 1.0, the (clamped) fit never has a larger
+    training-set error than the uncalibrated model.
+    """
+    seg_pred: dict[int, list[float]] = {1: [], 2: []}
+    seg_meas: dict[int, list[float]] = {1: [], 2: []}
+    n = 0
+    for o in observations:
+        if o.predicted_time_s <= 0 or o.measured_time_s <= 0:
+            continue
+        seg = (
+            1
+            if inflection_point is None or o.n_threads <= inflection_point
+            else 2
+        )
+        seg_pred[seg].append(o.predicted_time_s)
+        seg_meas[seg].append(o.measured_time_s)
+        n += 1
+
+    def solve(pred: list[float], meas: list[float]) -> float:
+        den = sum(p * p for p in pred)
+        if den <= 0:
+            return 1.0
+        s = sum(p * m for p, m in zip(pred, meas)) / den
+        return min(max(s, MIN_SCALE), MAX_SCALE)
+
+    return TimeCalibration(
+        seg1_scale=solve(seg_pred[1], seg_meas[1]),
+        seg2_scale=solve(seg_pred[2], seg_meas[2]),
+        n_observations=n,
+    )
+
+
+def _group_stats(
+    observations: Iterable[ObservationRecord], attr: str
+) -> dict[int, tuple[int, float]]:
+    """Per-configuration (count, mean measured perf) grouped by *attr*."""
+    sums: dict[int, list[float]] = {}
+    for o in observations:
+        if o.measured_time_s <= 0:
+            continue
+        sums.setdefault(getattr(o, attr), []).append(o.measured_perf)
+    return {
+        k: (len(v), sum(v) / len(v)) for k, v in sums.items()
+    }
+
+
+def empirical_best_nodes(
+    observations: Iterable[ObservationRecord], min_samples: int = 2
+) -> tuple[int | None, dict[int, tuple[int, float]]]:
+    """Measured-performance argmax over observed node counts.
+
+    Returns ``(best_n_nodes, {n_nodes: (count, mean_perf)})``; the best
+    is ``None`` until at least one node count has *min_samples*
+    observations.
+    """
+    groups = _group_stats(observations, "n_nodes")
+    qualified = {
+        k: mean for k, (count, mean) in groups.items() if count >= min_samples
+    }
+    if not qualified:
+        return None, groups
+    return max(qualified, key=lambda k: (qualified[k], -k)), groups
+
+
+def empirical_best_concurrency(
+    observations: Iterable[ObservationRecord], min_samples: int = 2
+) -> int | None:
+    """Measured-performance argmax over observed thread counts.
+
+    Needs at least two qualified thread-count groups — a single group
+    carries no comparative evidence about where the knee really is.
+    """
+    groups = _group_stats(observations, "n_threads")
+    qualified = {
+        k: mean for k, (count, mean) in groups.items() if count >= min_samples
+    }
+    if len(qualified) < 2:
+        return None
+    return max(qualified, key=lambda k: (qualified[k], -k))

@@ -47,7 +47,53 @@ from repro.core.classify import ScalabilityClass
 from repro.core.profile import AppProfile
 from repro.errors import ModelNotFittedError, ProfilingError
 
-__all__ = ["PerformancePredictor"]
+__all__ = ["PerformancePredictor", "TimeCalibration"]
+
+
+@dataclass(frozen=True)
+class TimeCalibration:
+    """Piecewise multiplicative time correction learned from outcomes.
+
+    The profiling-sample fit is a one-shot snapshot; the closed-loop
+    learning layer compares every completed job's predicted and
+    measured iteration time and least-squares-fits one multiplicative
+    scale per model segment (below/at the inflection point and above
+    it).  An identity calibration — the default, and the only thing a
+    learning-disabled deployment ever sees — leaves every prediction
+    bit-identical to the uncalibrated model.
+    """
+
+    seg1_scale: float = 1.0
+    seg2_scale: float = 1.0
+    n_observations: int = 0
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether applying this calibration is a no-op."""
+        return self.seg1_scale == 1.0 and self.seg2_scale == 1.0
+
+    def scale_for(self, n_threads: int, inflection_point: int | None) -> float:
+        """The correction factor governing *n_threads*."""
+        if inflection_point is None or n_threads <= inflection_point:
+            return self.seg1_scale
+        return self.seg2_scale
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "seg1_scale": self.seg1_scale,
+            "seg2_scale": self.seg2_scale,
+            "n_observations": self.n_observations,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "TimeCalibration":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            seg1_scale=float(raw["seg1_scale"]),
+            seg2_scale=float(raw["seg2_scale"]),
+            n_observations=int(raw["n_observations"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -101,8 +147,14 @@ class PerformancePredictor:
         self,
         profile: AppProfile,
         inflection_point: int | None = None,
+        calibration: TimeCalibration | None = None,
     ):
         self._profile = profile
+        self._calibration = (
+            calibration
+            if calibration is not None and not calibration.is_identity
+            else None
+        )
         self._cls = profile.scalability_class
         self._f_ref = profile.all_run.frequency_hz
         self._n_cores = profile.n_cores
@@ -179,6 +231,11 @@ class PerformancePredictor:
         return self._f_ref
 
     @property
+    def calibration(self) -> TimeCalibration | None:
+        """Outcome-learned correction applied on top of the fit (or None)."""
+        return self._calibration
+
+    @property
     def device_ref_time_s(self) -> float:
         """Profiled device-busy time per iteration (0 for host-only)."""
         return self._dev_ref_s
@@ -220,7 +277,7 @@ class PerformancePredictor:
                 * (self._f_ref / f)
             )
             t = max(comp + self._log_flat, self._plateau_at(f))
-            return max(t, 1e-9)
+            return self._calibrated(max(t, 1e-9), n_threads)
         if self._np is None or n_threads <= self._np or self._seg2 is None:
             t = self._seg1.time(n_threads)
             scalable = self._seg1.a / n_threads
@@ -233,7 +290,13 @@ class PerformancePredictor:
         t = max(t, 1e-9)
         if f != self._f_ref:
             t = max(scalable * (self._f_ref / f) + flat, 1e-9)
-        return self._with_device(t, gpu_clock_hz)
+        return self._calibrated(self._with_device(t, gpu_clock_hz), n_threads)
+
+    def _calibrated(self, t: float, n_threads: int) -> float:
+        """Apply the learned per-segment correction (identity when unset)."""
+        if self._calibration is None:
+            return t
+        return max(t * self._calibration.scale_for(n_threads, self._np), 1e-9)
 
     def _with_device(self, t_host: float, gpu_clock_hz: float | None) -> float:
         """Re-evaluate the device roofline at a candidate clock.

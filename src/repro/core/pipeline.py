@@ -36,6 +36,8 @@ a test greps the consumer modules to keep it that way.
 
 from __future__ import annotations
 
+import copy
+import itertools
 import threading
 import time
 from dataclasses import dataclass, field, replace
@@ -46,7 +48,16 @@ from repro.core.allocation import ClusterAllocation, ClusterAllocator
 from repro.core.classify import ScalabilityClass
 from repro.core.coordination import VARIABILITY_THRESHOLD, measure_node_factors
 from repro.core.inflection import InflectionPredictor
-from repro.core.knowledge import KnowledgeDB, KnowledgeEntry
+from repro.core.knowledge import (
+    KnowledgeDB,
+    KnowledgeEntry,
+    ObservationRecord,
+)
+from repro.core.learning import (
+    LearningConfig,
+    empirical_best_concurrency,
+    fit_calibration,
+)
 from repro.core.monitor import BudgetInvariantMonitor
 from repro.core.perfmodel import PerformancePredictor
 from repro.core.powermodel import ClipPowerModel
@@ -95,6 +106,7 @@ class ModelBundle:
     predictor: PerformancePredictor
     power_model: ClipPowerModel
     recommender: Recommender
+    version: int = 1
 
     @property
     def profile(self) -> AppProfile:
@@ -104,8 +116,18 @@ class ModelBundle:
     @classmethod
     def from_entry(cls, entry: KnowledgeEntry, node: NodeSpec) -> "ModelBundle":
         """Fit the triple from a knowledge-DB entry (the only place
-        the three models are constructed)."""
-        predictor = PerformancePredictor(entry.profile, entry.inflection_point)
+        the three models are constructed).
+
+        The bundle inherits the entry's ``model_version`` and — when
+        the learning loop has refitted the entry — its
+        :class:`~repro.core.perfmodel.TimeCalibration`, so every
+        decision can record which model generation produced it.
+        """
+        predictor = PerformancePredictor(
+            entry.profile,
+            entry.inflection_point,
+            calibration=entry.calibration,
+        )
         power_model = ClipPowerModel(entry.profile, node)
         recommender = Recommender(entry.profile, predictor, power_model)
         return cls(
@@ -113,6 +135,7 @@ class ModelBundle:
             predictor=predictor,
             power_model=power_model,
             recommender=recommender,
+            version=entry.model_version,
         )
 
 
@@ -156,8 +179,12 @@ class ModelBundleCache:
         key = entry.key + (node.name,)
         with self._lock:
             cached = self._bundles.get(key)
+            # validity compares the *model inputs* (profile, NP,
+            # calibration, version), not full entry equality: outcome
+            # observations appending to the entry must not churn the
+            # fitted triple, while a re-profile or refit rebuilds it
             if cached is not None and (
-                cached.entry is entry or cached.entry == entry
+                cached.entry is entry or cached.entry.same_models(entry)
             ):
                 self.hits += 1
                 return cached
@@ -214,6 +241,10 @@ class SchedulingDecision:
     allocation: ClusterAllocation
     node_configs: tuple[NodeConfig, ...]
     phase_threads: dict[str, int] = field(default_factory=dict)
+    #: Model generation the decision was made with (bumped by refits).
+    model_version: int = 1
+    #: True when epsilon-greedy exploration overrode the model's pick.
+    explored: bool = False
 
     @property
     def n_nodes(self) -> int:
@@ -283,7 +314,7 @@ class SchedulingDecision:
             ]
         if self.allocation.rack_budgets_w is not None:
             alloc_dict["rack_budgets_w"] = list(self.allocation.rack_budgets_w)
-        return {
+        d = {
             "app_name": self.app_name,
             "cluster_budget_w": self.cluster_budget_w,
             "scalability_class": self.scalability_class.value,
@@ -292,6 +323,13 @@ class SchedulingDecision:
             "node_configs": [self._config_dict(c) for c in self.node_configs],
             "phase_threads": dict(self.phase_threads),
         }
+        # learning keys appear only once learning has acted, so
+        # learning-off documents stay byte-identical to the goldens
+        if self.model_version != 1:
+            d["model_version"] = self.model_version
+        if self.explored:
+            d["explored"] = True
+        return d
 
     @staticmethod
     def _config_dict(c: NodeConfig) -> dict:
@@ -357,6 +395,8 @@ class SchedulingDecision:
             phase_threads={
                 str(k): int(v) for k, v in raw["phase_threads"].items()
             },
+            model_version=int(raw.get("model_version", 1)),
+            explored=bool(raw.get("explored", False)),
         )
 
 
@@ -569,7 +609,10 @@ class FitModelsStage:
 
     def outputs(self, ctx: DecisionContext) -> dict:
         """Trace summary of this stage's products."""
-        return {"bundle_cached": not getattr(self._scratch, "fitted", False)}
+        return {
+            "bundle_cached": not getattr(self._scratch, "fitted", False),
+            "bundle_version": ctx.bundle.version,
+        }
 
 
 class AllocateStage:
@@ -722,6 +765,7 @@ class RecommendStage:
             allocation=allocation,
             node_configs=tuple(configs),
             phase_threads=overrides,
+            model_version=ctx.bundle.version,
         )
         return replace(ctx, decision=decision)
 
@@ -762,12 +806,24 @@ class DecisionPipeline:
         node_factors: np.ndarray | None = None,
         variability_threshold: float = VARIABILITY_THRESHOLD,
         monitor: BudgetInvariantMonitor | None = None,
+        learning: LearningConfig | None = None,
     ):
         self._engine = engine
         self._kb = knowledge if knowledge is not None else KnowledgeDB()
         self._profiler = profiler or SmartProfiler(engine)
         self._monitor = monitor if monitor is not None else BudgetInvariantMonitor()
+        self._learning = learning if learning is not None else LearningConfig()
+        if self._learning.enabled:
+            # a learning pipeline may refit the MLR corpus online; give
+            # it a private copy so shared/session-cached predictors
+            # (and every learning-off consumer) stay untouched
+            inflection = copy.deepcopy(inflection)
         self._inflection = inflection
+        self._learn_lock = threading.Lock()
+        self._outcomes = 0
+        self._refits = 0
+        self._inflection_refits = 0
+        self._explorations = 0
         self._factors = (
             np.asarray(node_factors, dtype=np.float64)
             if node_factors is not None
@@ -778,6 +834,14 @@ class DecisionPipeline:
         cluster_spec = engine.cluster.spec
         self._node_specs = cluster_spec.node_specs
         self._hetero = not cluster_spec.is_homogeneous
+        # fingerprint observations are keyed by: "8xhaswell" reads as
+        # 8 slots of the haswell class, mixed fleets concatenate runs
+        self._testbed = "+".join(
+            f"{len(tuple(group))}x{name}"
+            for name, group in itertools.groupby(
+                s.name for s in self._node_specs
+            )
+        )
         hetero_specs = self._node_specs if self._hetero else None
         # rack structure engages only on multi-rack fleets, so legacy
         # single-rack specs keep their decisions bit-identical
@@ -906,6 +970,174 @@ class DecisionPipeline:
     def node_specs(self) -> tuple[NodeSpec, ...]:
         """Per-slot node specs of the cluster decisions are made for."""
         return self._node_specs
+
+    @property
+    def testbed(self) -> str:
+        """Fingerprint of the fleet observations are recorded against."""
+        return self._testbed
+
+    @property
+    def learning(self) -> LearningConfig:
+        """The learning configuration this pipeline runs under."""
+        return self._learning
+
+    # -- the outcome choke point ---------------------------------------
+
+    def record_outcome(
+        self,
+        app: WorkloadCharacteristics,
+        decision: SchedulingDecision | None = None,
+        result=None,
+        *,
+        predicted_perf: float | None = None,
+        measured_perf: float | None = None,
+        predicted_power_w: float | None = None,
+        measured_power_w: float | None = None,
+        budget_w: float | None = None,
+        n_nodes: int | None = None,
+        n_threads: int | None = None,
+        model_version: int | None = None,
+        source: str = "runtime",
+        flags: tuple[str, ...] = (),
+    ) -> ObservationRecord | None:
+        """Report one completed job's outcome (the single choke point).
+
+        Every consumer — both queue drain policies, the segment
+        runtime, and the serve daemon — funnels completions through
+        here.  The predicted side defaults from *decision* (and the
+        measured side from *result*, a
+        :class:`~repro.sim.trace.RunResult`); explicit keyword values
+        override either.  The observation is appended to the app's
+        knowledge entry (capped history), and — **only when learning is
+        enabled** — the :class:`~repro.core.learning.RefitPolicy` may
+        trigger a refit: the per-segment time calibration is re-fitted
+        from the observation window, the entry's ``model_version`` is
+        bumped, exactly that knowledge key is invalidated in the bundle
+        cache, and (when the history pins an empirically better knee)
+        the MLR inflection corpus is augmented.
+
+        Returns the recorded observation, or ``None`` when the app has
+        no knowledge entry or the measurement is degenerate.  With
+        learning disabled this is pure telemetry: no model, cache, or
+        decision changes — the golden suites enforce that bit-for-bit.
+        """
+        flags = tuple(flags)
+        if decision is not None:
+            predicted_perf = (
+                decision.predicted_perf
+                if predicted_perf is None
+                else predicted_perf
+            )
+            predicted_power_w = (
+                decision.total_capped_w
+                if predicted_power_w is None
+                else predicted_power_w
+            )
+            budget_w = (
+                decision.cluster_budget_w if budget_w is None else budget_w
+            )
+            n_nodes = decision.n_nodes if n_nodes is None else n_nodes
+            n_threads = decision.n_threads if n_threads is None else n_threads
+            model_version = (
+                decision.model_version
+                if model_version is None
+                else model_version
+            )
+            if decision.explored and "explored" not in flags:
+                flags = (*flags, "explored")
+        if result is not None:
+            measured_perf = (
+                result.performance if measured_perf is None else measured_perf
+            )
+            if measured_power_w is None and result.total_time_s > 0:
+                measured_power_w = result.energy_j / result.total_time_s
+        if (
+            predicted_perf is None
+            or measured_perf is None
+            or budget_w is None
+            or n_nodes is None
+            or n_threads is None
+        ):
+            raise SchedulingError(
+                "record_outcome needs a decision/result pair or explicit "
+                "predicted_perf, measured_perf, budget_w, n_nodes, n_threads"
+            )
+        if predicted_perf <= 0 or measured_perf <= 0:
+            return None
+        obs = ObservationRecord(
+            predicted_time_s=1.0 / predicted_perf,
+            measured_time_s=1.0 / measured_perf,
+            predicted_power_w=float(predicted_power_w or 0.0),
+            measured_power_w=float(measured_power_w or 0.0),
+            budget_w=float(budget_w),
+            n_nodes=int(n_nodes),
+            n_threads=int(n_threads),
+            testbed=self._testbed,
+            model_version=int(model_version or 1),
+            source=source,
+            flags=flags,
+        )
+        with self._learn_lock:
+            if not self._kb.has(app.name, app.problem_size):
+                return None
+            entry = self._kb.get(app.name, app.problem_size)
+            new_entry = entry.with_observation(obs)
+            if self._learning.enabled and self._learning.refit.should_refit(
+                new_entry
+            ):
+                new_entry = self._refit_entry(new_entry)
+                self._refits += 1
+                self._bundles.invalidate(entry.key)
+            self._kb.put(new_entry)
+            self._outcomes += 1
+        return obs
+
+    def _refit_entry(self, entry: KnowledgeEntry) -> KnowledgeEntry:
+        """Refit one entry's models from its observation history."""
+        calibration = fit_calibration(
+            entry.observations, entry.inflection_point
+        )
+        refitted = entry.with_refit(calibration)
+        if entry.profile.scalability_class.is_nonlinear:
+            best = empirical_best_concurrency(entry.observations)
+            if best is not None and best != entry.inflection_point:
+                # observed execution pins the knee elsewhere: feed the
+                # evidence to the (private) MLR corpus so future
+                # profiles of similar apps predict a better NP
+                self._inflection.refit_with(
+                    entry.profile.feature_vector(), [float(best)]
+                )
+                self._inflection_refits += 1
+        return refitted
+
+    def count_exploration(self) -> None:
+        """Tally one epsilon-greedy override (scheduler-reported)."""
+        with self._learn_lock:
+            self._explorations += 1
+
+    def learning_stats(self) -> dict:
+        """JSON-safe learning-telemetry snapshot."""
+        observed_entries = 0
+        observations = 0
+        refitted_entries = 0
+        for key in self._kb.keys():
+            entry = self._kb.get(*key)
+            if entry.observations:
+                observed_entries += 1
+                observations += len(entry.observations)
+            if entry.model_version > 1:
+                refitted_entries += 1
+        with self._learn_lock:
+            return {
+                "enabled": self._learning.enabled,
+                "outcomes": self._outcomes,
+                "refits": self._refits,
+                "inflection_refits": self._inflection_refits,
+                "explorations": self._explorations,
+                "observed_entries": observed_entries,
+                "observations_held": observations,
+                "refitted_entries": refitted_entries,
+            }
 
     def decide(
         self,

@@ -744,7 +744,58 @@ class PowerBoundedRuntime:
         )
         if self._watchdog is not None:
             self._watchdog.observe(job)
+        if job.done:
+            self._report_outcome(job)
         return record
+
+    def _report_outcome(self, job: RunningJob) -> None:
+        """Report a finished job through the pipeline's choke point.
+
+        Predicted performance is recomputed from the job's *final*
+        shape (caps, concurrency, surviving nodes) so re-coordinated
+        or shrunk jobs are compared against what the models promised
+        for the configuration they actually ran, not the launch-time
+        one.  Failures to predict (e.g. a cap below the model's floor
+        after an emergency throttle) drop the observation rather than
+        poisoning the history.
+        """
+        pipeline = self._scheduler.pipeline
+        specs = pipeline.node_specs
+        kb = self._scheduler.knowledge
+        if not kb.has(job.app.name, job.app.problem_size):
+            return
+        entry = kb.get(job.app.name, job.app.problem_size)
+        predicted = 0.0
+        for slot, caps in zip(job.node_ids, job.per_node_caps):
+            bundle = pipeline.class_bundle(entry, specs[slot])
+            freq = bundle.power_model.max_freq_under(
+                caps[0], job.n_threads
+            )
+            if freq is None:
+                return
+            predicted += bundle.predictor.predict_perf(job.n_threads, freq)
+        measured = job.mean_performance
+        if predicted <= 0 or measured <= 0:
+            return
+        flags = []
+        if len({s.n_threads for s in job.segments}) > 1:
+            flags.append("concurrency_change")
+        if len({s.budget_w for s in job.segments}) > 1:
+            flags.append("budget_change")
+        pipeline.record_outcome(
+            job.app,
+            predicted_perf=predicted,
+            measured_perf=measured,
+            measured_power_w=(
+                job.energy_j / job.elapsed_s if job.elapsed_s > 0 else None
+            ),
+            budget_w=job.budget_w,
+            n_nodes=job.n_nodes,
+            n_threads=job.n_threads,
+            model_version=entry.model_version,
+            source="runtime",
+            flags=tuple(flags),
+        )
 
     def run_to_completion(
         self, job: RunningJob, segment_iterations: int = 50

@@ -324,11 +324,21 @@ class ServeDaemon:
                     return await self._method_not_allowed(writer, keep_alive)
                 await self._submit(request, writer, keep_alive)
             elif path.startswith("/v1/jobs/"):
-                if method != "GET":
-                    return await self._method_not_allowed(writer, keep_alive)
-                await self._query_job(
-                    path[len("/v1/jobs/"):], writer, keep_alive
-                )
+                rest = path[len("/v1/jobs/"):]
+                if rest.endswith("/outcome"):
+                    if method != "POST":
+                        return await self._method_not_allowed(
+                            writer, keep_alive
+                        )
+                    await self._record_outcome(
+                        rest[: -len("/outcome")], request, writer, keep_alive
+                    )
+                else:
+                    if method != "GET":
+                        return await self._method_not_allowed(
+                            writer, keep_alive
+                        )
+                    await self._query_job(rest, writer, keep_alive)
             elif path == "/v1/telemetry/stream":
                 if method != "GET":
                     return await self._method_not_allowed(writer, keep_alive)
@@ -421,6 +431,20 @@ class ServeDaemon:
                 writer, 404, {"error": f"unknown job {job_id!r}"}, keep_alive
             )
             return
+        await self._respond(writer, 200, record.to_dict(), keep_alive)
+
+    async def _record_outcome(
+        self, job_id: str, request: _Request, writer, keep_alive
+    ) -> None:
+        """POST /v1/jobs/<id>/outcome — feed a measured result back.
+
+        The service validates the payload and the job's state (404 /
+        409 surface through the ServeError status), pushes the
+        observation through the pipeline choke point, and the updated
+        record is echoed back.
+        """
+        payload = request.json()
+        record = self._service.record_outcome(job_id, payload)
         await self._respond(writer, 200, record.to_dict(), keep_alive)
 
     async def _stream_telemetry(self, request: _Request, writer) -> None:

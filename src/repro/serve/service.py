@@ -83,6 +83,7 @@ class JobRecord:
     decided_at: float | None = None
     decision: SchedulingDecision | None = None
     error: str | None = None
+    outcome: dict | None = None
 
     @property
     def latency_s(self) -> float | None:
@@ -105,6 +106,7 @@ class JobRecord:
                 self.decision.to_dict() if self.decision is not None else None
             ),
             "error": self.error,
+            "outcome": self.outcome,
         }
 
 
@@ -164,6 +166,7 @@ class SchedulerService:
         self._bursts = 0
         self._burst_jobs = 0
         self._max_burst_seen = 0
+        self._outcomes = 0
 
     # -- configuration -------------------------------------------------
 
@@ -338,6 +341,77 @@ class SchedulerService:
         while len(self._done_order) > self._history_limit:
             self._jobs.pop(self._done_order.popleft(), None)
 
+    # -- closed-loop outcomes ------------------------------------------
+
+    def record_outcome(self, job_id: str, payload: dict) -> JobRecord:
+        """Report a daemon-submitted job's measured outcome.
+
+        The payload carries ``performance`` (cluster iterations/s) or
+        ``measured_time_s`` (seconds per iteration), plus optional
+        ``measured_power_w`` and ``flags``.  The observation flows
+        through the pipeline's
+        :meth:`~repro.core.pipeline.DecisionPipeline.record_outcome`
+        choke point against the decision the daemon issued, and is
+        echoed on the job record for later queries.  404 for unknown
+        jobs, 409 for undecided jobs or double reports.
+        """
+        if not isinstance(payload, dict):
+            raise ServeError("outcome payload must be an object")
+        perf = payload.get("performance")
+        time_s = payload.get("measured_time_s")
+        if perf is None and time_s is None:
+            raise ServeError(
+                "outcome needs 'performance' or 'measured_time_s'"
+            )
+        if perf is None:
+            time_s = float(time_s)
+            if time_s <= 0:
+                raise ServeError("measured_time_s must be > 0")
+            perf = 1.0 / time_s
+        perf = float(perf)
+        if perf <= 0:
+            raise ServeError("performance must be > 0")
+        power = payload.get("measured_power_w")
+        flags = payload.get("flags", ())
+        if isinstance(flags, str):
+            flags = (flags,)
+        with self._lock:
+            rec = self._jobs.get(job_id)
+            if rec is None:
+                raise ServeError(f"no such job {job_id!r}", status=404)
+            if rec.decision is None:
+                raise ServeError(
+                    f"job {job_id!r} has no decision to report against "
+                    f"(status {rec.status!r})",
+                    status=409,
+                )
+            if rec.outcome is not None:
+                raise ServeError(
+                    f"job {job_id!r} already has a recorded outcome",
+                    status=409,
+                )
+            # claim the slot under the lock so a concurrent duplicate
+            # report 409s instead of double-feeding the learner
+            rec.outcome = {"performance": perf, "recorded": False}
+        obs = self._clip.pipeline.record_outcome(
+            get_app(rec.app_name),
+            decision=rec.decision,
+            measured_perf=perf,
+            measured_power_w=float(power) if power is not None else None,
+            source="serve",
+            flags=tuple(str(f) for f in flags),
+        )
+        with self._lock:
+            rec.outcome = {
+                "performance": perf,
+                "measured_power_w": (
+                    float(power) if power is not None else None
+                ),
+                "recorded": obs is not None,
+            }
+            self._outcomes += 1
+        return rec
+
     # -- queries -------------------------------------------------------
 
     def job(self, job_id: str) -> JobRecord | None:
@@ -376,4 +450,6 @@ class SchedulerService:
                 "knowledge_entries": len(pipeline.knowledge),
                 "audits": monitor.n_audits,
                 "audit_violations": monitor.n_violations,
+                "outcomes": self._outcomes,
+                "learning": pipeline.learning_stats(),
             }

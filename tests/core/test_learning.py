@@ -1,0 +1,370 @@
+"""The closed-loop learning layer (ISSUE 10).
+
+Property suites (hypothesis) for the refit math and the observation
+history, the v1 -> v2 schema migration round-trip, the learning-off
+bit-identity guarantee, and the misprediction-feedback regression: a
+knowledge entry seeded with a uniformly mistimed profile must be
+corrected by the calibration refit within a handful of observations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.experiments import build_trained_inflection
+from repro.core.knowledge import (
+    MAX_OBSERVATIONS,
+    SCHEMA_VERSION,
+    KnowledgeDB,
+    KnowledgeEntry,
+    ObservationRecord,
+    budget_band,
+)
+from repro.core.learning import (
+    LearningConfig,
+    RefitPolicy,
+    empirical_best_concurrency,
+    empirical_best_nodes,
+    fit_calibration,
+)
+from repro.core.scheduler import ClipScheduler
+from repro.hw.cluster import SimulatedCluster
+from repro.sim.engine import ExecutionEngine
+from repro.workloads.apps import get_app
+
+DATA_DIR = Path(__file__).parent.parent / "data"
+
+_SHARED: dict = {}
+
+
+def _shared_entry() -> KnowledgeEntry:
+    """One profiled entry, module-cached (hypothesis forbids
+    function-scoped fixtures; profiling per example would dominate)."""
+    if "entry" not in _SHARED:
+        engine = ExecutionEngine(SimulatedCluster.testbed(), seed=42)
+        clip = ClipScheduler(
+            engine, inflection=build_trained_inflection(engine)
+        )
+        _SHARED["entry"] = clip.ensure_knowledge(get_app("comd"))
+    return _SHARED["entry"]
+
+
+def _obs(
+    predicted: float,
+    measured: float,
+    n_threads: int = 8,
+    n_nodes: int = 4,
+    budget_w: float = 1000.0,
+    testbed: str = "8xhaswell",
+) -> ObservationRecord:
+    return ObservationRecord(
+        predicted_time_s=predicted,
+        measured_time_s=measured,
+        predicted_power_w=900.0,
+        measured_power_w=880.0,
+        budget_w=budget_w,
+        n_nodes=n_nodes,
+        n_threads=n_threads,
+        testbed=testbed,
+    )
+
+
+# ----------------------------------------------------------------------
+# hypothesis properties
+# ----------------------------------------------------------------------
+
+time_st = st.floats(
+    min_value=1e-3, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCalibrationProperty:
+    @given(
+        rows=st.lists(
+            st.tuples(time_st, time_st, st.integers(1, 24)),
+            min_size=1,
+            max_size=40,
+        ),
+        np_=st.one_of(st.none(), st.integers(2, 16)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_refit_never_increases_training_error(self, rows, np_):
+        """The fitted scale family contains the identity, so the
+        calibrated model's squared error on its own training set can
+        never exceed the uncalibrated model's."""
+        obs = [_obs(p, m, n_threads=t) for p, m, t in rows]
+        cal = fit_calibration(obs, np_)
+
+        def sse(scaled: bool) -> float:
+            return sum(
+                (
+                    (cal.scale_for(o.n_threads, np_) if scaled else 1.0)
+                    * o.predicted_time_s
+                    - o.measured_time_s
+                )
+                ** 2
+                for o in obs
+            )
+
+        base = sse(scaled=False)
+        fitted = sse(scaled=True)
+        assert fitted <= base * (1 + 1e-12) + 1e-9
+
+    @given(
+        rows=st.lists(
+            st.tuples(time_st, time_st, st.integers(1, 24)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scales_stay_clamped(self, rows):
+        cal = fit_calibration([_obs(p, m, t) for p, m, t in rows], 8)
+        assert 0.1 <= cal.seg1_scale <= 10.0
+        assert 0.1 <= cal.seg2_scale <= 10.0
+
+
+class TestObservationHistoryProperty:
+    @given(n=st.integers(min_value=1, max_value=MAX_OBSERVATIONS + 60))
+    @settings(max_examples=30, deadline=None)
+    def test_history_is_capped_and_counts_everything(self, n):
+        entry = _shared_entry()
+        for i in range(n):
+            entry = entry.with_observation(_obs(1.0, 1.0 + i * 1e-3))
+        assert len(entry.observations) == min(n, MAX_OBSERVATIONS)
+        assert entry.observed_total == n
+        # the window keeps the *most recent* observations
+        assert entry.observations[-1].measured_time_s == pytest.approx(
+            1.0 + (n - 1) * 1e-3
+        )
+
+    @given(
+        budgets=st.lists(
+            st.floats(min_value=1.0, max_value=5000.0), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quality_cells_partition_the_history(self, budgets):
+        entry = _shared_entry()
+        for b in budgets:
+            entry = entry.with_observation(_obs(1.0, 1.1, budget_w=b))
+        cells = entry.quality_cells()
+        assert sum(c.n for c in cells) == len(budgets)
+        assert {c.band_w for c in cells} == {budget_band(b) for b in budgets}
+
+
+# ----------------------------------------------------------------------
+# empirical argmax helpers
+# ----------------------------------------------------------------------
+
+class TestEmpiricalBest:
+    def test_best_nodes_needs_min_samples(self):
+        obs = [_obs(1.0, 0.5, n_nodes=4), _obs(1.0, 0.9, n_nodes=6)]
+        best, groups = empirical_best_nodes(obs, min_samples=2)
+        assert best is None
+        assert set(groups) == {4, 6}
+
+    def test_best_nodes_prefers_measured_throughput(self):
+        obs = [
+            _obs(1.0, 0.5, n_nodes=4),
+            _obs(1.0, 0.5, n_nodes=4),
+            _obs(1.0, 0.9, n_nodes=6),
+            _obs(1.0, 0.9, n_nodes=6),
+        ]
+        best, _ = empirical_best_nodes(obs, min_samples=2)
+        assert best == 4  # 2 it/s beats 1.11 it/s
+
+    def test_best_concurrency_needs_two_groups(self):
+        obs = [_obs(1.0, 0.5, n_threads=14)] * 4
+        assert empirical_best_concurrency(obs, min_samples=2) is None
+        obs += [_obs(1.0, 0.8, n_threads=20)] * 2
+        assert empirical_best_concurrency(obs, min_samples=2) == 14
+
+
+# ----------------------------------------------------------------------
+# refit policy
+# ----------------------------------------------------------------------
+
+class TestRefitPolicy:
+    def test_waits_for_staleness_and_evidence(self):
+        policy = RefitPolicy(
+            min_observations=3, refit_interval=3, error_threshold=0.05
+        )
+        entry = _shared_entry()
+        assert not policy.should_refit(entry)
+        for _ in range(2):
+            entry = entry.with_observation(_obs(1.0, 2.0))
+        assert not policy.should_refit(entry)  # too few
+        entry = entry.with_observation(_obs(1.0, 2.0))
+        assert policy.should_refit(entry)  # 3 obs, 100% error
+
+    def test_accurate_models_never_refit(self):
+        policy = RefitPolicy(
+            min_observations=3, refit_interval=3, error_threshold=0.05
+        )
+        entry = _shared_entry()
+        for _ in range(10):
+            entry = entry.with_observation(_obs(1.0, 1.01))
+        assert not policy.should_refit(entry)
+
+    def test_refit_bumps_version_and_resets_staleness(self):
+        entry = _shared_entry()
+        for _ in range(4):
+            entry = entry.with_observation(_obs(1.0, 2.0))
+        refitted = entry.with_refit(
+            fit_calibration(entry.observations, entry.inflection_point)
+        )
+        assert refitted.model_version == entry.model_version + 1
+        assert refitted.refit_at == refitted.observed_total
+        assert not entry.same_models(refitted)
+
+
+# ----------------------------------------------------------------------
+# schema v1 -> v2 migration
+# ----------------------------------------------------------------------
+
+class TestSchemaMigration:
+    def test_v1_fixture_round_trips(self, tmp_path):
+        db = KnowledgeDB.load(DATA_DIR / "knowledge_v1.json")
+        assert db.migrated_from == 1
+        assert len(db) == 2
+        for key in db.keys():
+            entry = db.get(*key)
+            # migrated entries carry the "never observed" defaults
+            assert entry.observations == ()
+            assert entry.calibration is None
+            assert entry.model_version == 1
+            assert entry.observed_total == 0
+
+        out = tmp_path / "kb.json"
+        db.save(out)
+        payload = json.loads(out.read_text())
+        assert payload["version"] == SCHEMA_VERSION
+
+        back = KnowledgeDB.load(out)
+        assert back.migrated_from is None
+        assert back.keys() == db.keys()
+        for key in db.keys():
+            assert back.get(*key) == db.get(*key)
+
+    def test_v2_observations_survive_round_trip(self, tmp_path):
+        db = KnowledgeDB()
+        entry = _shared_entry().with_observation(
+            _obs(1.0, 1.4, budget_w=1400.0)
+        )
+        entry = entry.with_refit(
+            fit_calibration(entry.observations, entry.inflection_point)
+        )
+        db.put(entry)
+        out = tmp_path / "kb.json"
+        db.save(out)
+        back = KnowledgeDB.load(out).get(*entry.key)
+        assert back == entry
+        assert back.calibration == entry.calibration
+        assert back.observations == entry.observations
+
+
+# ----------------------------------------------------------------------
+# learning off: bit identity
+# ----------------------------------------------------------------------
+
+class TestLearningOffIdentity:
+    def test_outcome_history_never_moves_a_decision(self):
+        """With learning disabled, recorded outcomes are pure
+        telemetry: decisions stay byte-identical to the stored golden
+        capture even after every combo has executed and reported."""
+        golden = json.loads(
+            (DATA_DIR / "golden_decisions_testbeds.json").read_text()
+        )["testbeds"]["haswell"]
+        engine = ExecutionEngine(SimulatedCluster.testbed(), seed=42)
+        clip = ClipScheduler(
+            engine, inflection=build_trained_inflection(engine)
+        )
+        combos = [("comd", 1000.0), ("sp-mz.C", 1400.0), ("tealeaf", 1800.0)]
+        for name, budget in combos:
+            clip.run(get_app(name), budget, iterations=2)
+        assert clip.pipeline.learning_stats()["outcomes"] == len(combos)
+        for name, budget in combos:
+            d = clip.schedule(get_app(name), budget)
+            assert d.to_dict() == golden[f"{name}@{budget:.0f}"], (
+                name,
+                budget,
+            )
+
+
+# ----------------------------------------------------------------------
+# misprediction feedback regression
+# ----------------------------------------------------------------------
+
+def _mistimed(entry: KnowledgeEntry, scale: float) -> KnowledgeEntry:
+    """Uniformly scale the profile's sample times (class-preserving).
+
+    Every sample's iteration time is multiplied by *scale* (and its
+    throughput divided), so the classification ratio and the power
+    levels are untouched but every time prediction is off by exactly
+    that factor — the shape of a systematically mistimed profile."""
+
+    def stretch(run):
+        if run is None:
+            return None
+        return replace(
+            run,
+            perf=run.perf / scale,
+            t_iter_s=run.t_iter_s * scale,
+            t_iter_lo_s=run.t_iter_lo_s * scale,
+        )
+
+    profile = replace(
+        entry.profile,
+        all_run=stretch(entry.profile.all_run),
+        half_run=stretch(entry.profile.half_run),
+        confirm_run=stretch(entry.profile.confirm_run),
+    )
+    return replace(entry, profile=profile)
+
+
+class TestMispredictionFeedback:
+    def test_bad_profile_corrected_within_a_handful_of_outcomes(self):
+        engine = ExecutionEngine(SimulatedCluster.testbed(), seed=42)
+        inflection = build_trained_inflection(engine)
+        seed_clip = ClipScheduler(engine, inflection=inflection)
+        good = seed_clip.ensure_knowledge(get_app("comd"))
+
+        kb = KnowledgeDB()
+        kb.put(_mistimed(good, 2.0))
+        clip = ClipScheduler(
+            engine,
+            inflection=inflection,
+            knowledge=kb,
+            learning=LearningConfig(enabled=True),
+        )
+        app = get_app("comd")
+
+        # first outcome: the model predicts ~2x the measured time
+        clip.run(app, 1400.0, iterations=2)
+        entry = kb.get(app.name, app.problem_size)
+        first = entry.observations[0]
+        assert abs(first.rel_time_error) > 0.3, first
+
+        # a handful more outcomes and the refit policy fires: the
+        # calibration absorbs the x2 and predictions land on target
+        for _ in range(7):
+            clip.run(app, 1400.0, iterations=2)
+        entry = kb.get(app.name, app.problem_size)
+        assert entry.model_version > 1
+        assert entry.calibration is not None
+        assert not entry.calibration.is_identity
+        corrected = [
+            o
+            for o in entry.observations
+            if o.model_version == entry.model_version
+        ]
+        assert corrected, entry.observations
+        last = corrected[-1]
+        assert abs(last.rel_time_error) < 0.15, last
+        assert abs(last.rel_time_error) < abs(first.rel_time_error)

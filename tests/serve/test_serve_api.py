@@ -210,6 +210,69 @@ class TestErrorCodec:
         assert err.value.status == 400
 
 
+class TestOutcomeReporting:
+    def test_outcome_feeds_the_learning_layer(self, client, clip):
+        (job,) = client.submit("comd")
+        before = client.stats()
+        predicted = job["decision"]["allocation"]["predicted_cluster_perf"]
+        measured = predicted * 0.9
+        record = client.record_outcome(
+            job["job_id"], performance=measured, measured_power_w=1200.0
+        )
+        assert record["outcome"]["performance"] == pytest.approx(measured)
+        assert record["outcome"]["recorded"] is True
+        # the observation landed in the knowledge entry...
+        app = get_app("comd")
+        entry = clip.knowledge.get(app.name, app.problem_size)
+        obs = entry.observations[-1]
+        assert obs.source == "serve"
+        assert obs.measured_time_s == pytest.approx(1.0 / measured)
+        # ...and the daemon's telemetry shows it
+        after = client.stats()
+        assert after["outcomes"] == before["outcomes"] + 1
+        assert (
+            after["learning"]["outcomes"]
+            == before["learning"]["outcomes"] + 1
+        )
+        assert after["learning"]["enabled"] is False
+
+    def test_outcome_accepts_measured_time(self, client):
+        (job,) = client.submit("minimd")
+        record = client.record_outcome(job["job_id"], measured_time_s=2.0)
+        assert record["outcome"]["performance"] == pytest.approx(0.5)
+        fetched = client.job(job["job_id"])
+        assert fetched["outcome"] == record["outcome"]
+
+    def test_unknown_job_outcome_is_404(self, client):
+        status, data = client.request(
+            "POST", "/v1/jobs/j-999999/outcome", {"performance": 1.0}
+        )
+        assert status == 404
+        assert "unknown" in data["error"] or "no such" in data["error"]
+
+    def test_double_report_is_409(self, client):
+        (job,) = client.submit("comd")
+        client.record_outcome(job["job_id"], performance=1.0)
+        with pytest.raises(ServeError) as err:
+            client.record_outcome(job["job_id"], performance=1.0)
+        assert err.value.status == 409
+
+    def test_bad_outcome_payload_is_400(self, client):
+        (job,) = client.submit("comd")
+        for payload in ({}, {"performance": -1.0}, {"measured_time_s": 0}):
+            status, _ = client.request(
+                "POST", f"/v1/jobs/{job['job_id']}/outcome", payload
+            )
+            assert status == 400, payload
+
+    def test_outcome_requires_post(self, client):
+        (job,) = client.submit("comd")
+        status, _ = client.request(
+            "GET", f"/v1/jobs/{job['job_id']}/outcome"
+        )
+        assert status == 405
+
+
 class TestTelemetry:
     def test_stream_reports_decisions(self, client):
         client.submit(["comd", "minimd"])

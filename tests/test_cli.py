@@ -147,6 +147,36 @@ class TestCommands:
         assert "sp-mz.C" in out
 
 
+class TestLearnCommand:
+    def test_learn_demo_campaign_reports_quality(self, capsys):
+        assert main(["learn", "--jobs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Decision quality" in out
+        assert "outcomes=8" in out
+
+    def test_learn_json_payload(self, capsys):
+        import json
+
+        assert main(["learn", "--jobs", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "demo campaign"
+        assert payload["learning"]["enabled"] is True
+        assert payload["learning"]["outcomes"] == 8
+        assert payload["cells"], payload
+        for cell in payload["cells"]:
+            assert cell["n"] >= 1
+            assert 0.0 < cell["score"] <= 1.0
+
+    def test_learn_from_saved_knowledge(self, tmp_path, capsys):
+        from repro.core.knowledge import KnowledgeDB
+
+        path = tmp_path / "kb.json"
+        KnowledgeDB().save(path)
+        assert main(["learn", "--knowledge", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no observations recorded" in out
+
+
 class TestReportCommand:
     def test_report_from_empty_dir(self, tmp_path, capsys):
         assert main(["report", "--results", str(tmp_path)]) == 0
